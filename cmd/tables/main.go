@@ -1,0 +1,75 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section and prints them to stdout.
+//
+// Usage:
+//
+//	tables [-pitch mm] [-requests n] [-only id[,id...]] [-benchmarks names]
+//
+// Experiment ids: table1 metal mounting table2 table3 table4 table5 table6
+// table7 table8 table9 fig4 fig5 fig9 regression crowding failure policyall ac. The default runs all of
+// them at full fidelity; -pitch 0.4 gives a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pdn3d/internal/exp"
+)
+
+func main() {
+	pitch := flag.Float64("pitch", 0, "R-Mesh pitch override in mm (0 = full fidelity 0.2)")
+	requests := flag.Int("requests", 0, "controller workload length (0 = 10000)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	benches := flag.String("benchmarks", "ddr3-off,ddr3-on,wideio,hmc", "benchmarks for table9/regression")
+	flag.Parse()
+
+	r := exp.NewRunner(exp.Config{MeshPitch: *pitch, Requests: *requests})
+	sel := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			sel[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[id] }
+
+	type stringer interface{ String() string }
+	run := func(id string, f func() (stringer, error)) {
+		if !want(id) {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+
+	run("table1", func() (stringer, error) { return r.Table1() })
+	run("fig4", func() (stringer, error) { t, _, err := r.Figure4(); return t, err })
+	run("metal", func() (stringer, error) { return r.MetalUsageStudy() })
+	run("mounting", func() (stringer, error) { return r.MountingStudy() })
+	run("fig5", func() (stringer, error) { return r.Figure5() })
+	run("table2", func() (stringer, error) { return r.Table2() })
+	run("table3", func() (stringer, error) { return r.Table3() })
+	run("table4", func() (stringer, error) { return r.Table4() })
+	run("table5", func() (stringer, error) { return r.Table5() })
+	run("table6", func() (stringer, error) { t, _, err := r.Table6(); return t, err })
+	run("table7", func() (stringer, error) { return r.Table7() })
+	run("fig9", func() (stringer, error) { return r.Figure9(nil) })
+	run("table8", func() (stringer, error) { return r.Table8() })
+	run("crowding", func() (stringer, error) { return r.CrowdingStudy() })
+	run("failure", func() (stringer, error) { return r.TSVFailureStudy() })
+	run("policyall", func() (stringer, error) { return r.PolicyStudyAll() })
+	run("ac", func() (stringer, error) { return r.ACStudy() })
+	for _, b := range strings.Split(*benches, ",") {
+		b := strings.TrimSpace(b)
+		run("table9", func() (stringer, error) { return r.Table9(b) })
+		run("regression", func() (stringer, error) { return r.RegressionStudy(b) })
+	}
+}

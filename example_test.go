@@ -1,0 +1,69 @@
+package pdn3d_test
+
+import (
+	"fmt"
+	"log"
+
+	"pdn3d"
+)
+
+// ExampleLoadBenchmark analyzes the off-chip stacked DDR3 under the
+// default zero-bubble interleaving-read state.
+func ExampleLoadBenchmark() {
+	bench, err := pdn3d.LoadBenchmark("ddr3-off")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := bench.Spec.Clone()
+	spec.MeshPitch = 0.4 // coarse mesh keeps the example fast
+	analyzer, err := pdn3d.NewAnalyzer(spec, bench.DRAMPower, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state, err := pdn3d.StateFromCounts([]int{0, 0, 0, 2}, spec.DRAM.NumBanks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := analyzer.Analyze(state, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state %s draws %.1f mW\n", state, res.TotalPower)
+	fmt.Printf("max IR within 25-35 mV: %v\n", res.MaxIRmV() > 25 && res.MaxIRmV() < 35)
+	// Output:
+	// state 0-0-0-2 draws 310.5 mW
+	// max IR within 25-35 mV: true
+}
+
+// ExampleParseState shows the paper's memory-state notation.
+func ExampleParseState() {
+	counts, err := pdn3d.ParseState("0-0-2-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(counts)
+	// Output:
+	// [0 0 2 2]
+}
+
+// ExampleDefaultCostModel prices a design with the Table 8 cost model.
+func ExampleDefaultCostModel() {
+	bench, err := pdn3d.LoadBenchmark("ddr3-off")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm := pdn3d.DefaultCostModel()
+	base, err := cm.Total(bench.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2f := bench.Spec.Clone()
+	f2f.Bonding = pdn3d.F2F
+	withF2F, err := cm.Total(f2f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline %.2f, F2F premium %.3f\n", base, withF2F-base)
+	// Output:
+	// baseline 0.35, F2F premium 0.015
+}

@@ -1,0 +1,49 @@
+// TSV sweep: the paper's Figure 5 study as an application. Sweeps the PG
+// TSV count for the on-chip stacked DDR3 with and without C4 alignment and
+// shows the saturation and misalignment effects (§3.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdn3d"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	bench, err := pdn3d.LoadBenchmark("ddr3-on")
+	if err != nil {
+		log.Fatal(err)
+	}
+	state, err := pdn3d.StateFromCounts([]int{0, 0, 0, 2}, bench.Spec.DRAM.NumBanks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("on-chip stacked DDR3, 0-0-0-2 @ 100% I/O (power rises through the host logic die)")
+	fmt.Printf("%8s  %14s  %12s  %9s\n", "TSVs", "misaligned(mV)", "aligned(mV)", "saved")
+	for _, tc := range []int{15, 33, 60, 120, 240, 480} {
+		var ir [2]float64
+		for i, aligned := range []bool{false, true} {
+			spec := bench.Spec.Clone()
+			spec.DedicatedTSV = false // coupled supply path, the §3.2 setting
+			spec.TSVCount = tc
+			spec.AlignTSV = aligned
+			// A coarser mesh keeps the sweep fast; the trend is identical.
+			spec.MeshPitch = 0.3
+			a, err := pdn3d.NewAnalyzer(spec, bench.DRAMPower, bench.LogicPower)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := a.Analyze(state, 1.0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ir[i] = res.MaxIRmV()
+		}
+		fmt.Printf("%8d  %14.2f  %12.2f  %8.1f%%\n", tc, ir[0], ir[1], (ir[0]-ir[1])/ir[0]*100)
+	}
+	fmt.Println("\npaper: alignment saves up to 51.5% on-chip; gains saturate with many TSVs")
+}

@@ -1,0 +1,3 @@
+module pdn3d
+
+go 1.22

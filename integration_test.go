@@ -1,0 +1,123 @@
+package pdn3d
+
+// End-to-end integration tests through the public facade: the full flow a
+// downstream user would run — load a benchmark, analyze states, build the
+// LUT, drive the controller, co-optimize — at coarse fidelity.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEndToEndAnalysisFlow(t *testing.T) {
+	bench, err := LoadBenchmark("ddr3-off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bench.Spec.Clone()
+	spec.MeshPitch = 0.4
+	a, err := NewAnalyzer(spec, bench.DRAMPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ParseState("0-0-0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StateFromCounts(counts, spec.DRAM.NumBanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Analyze(st, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse-mesh baseline should still land near the paper's 30 mV.
+	if res.MaxIRmV() < 24 || res.MaxIRmV() > 40 {
+		t.Errorf("baseline = %.2f mV, expected ~30 mV", res.MaxIRmV())
+	}
+}
+
+func TestEndToEndPolicyFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller flow is slow")
+	}
+	bench, err := LoadBenchmark("ddr3-off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bench.Spec.Clone()
+	spec.MeshPitch = 0.5
+	a, err := NewAnalyzer(spec, bench.DRAMPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := BuildLUT(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateReads(4, 8, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewControllerConfig(PolicyIRAware, DistR, table, 0.024)
+	res, err := SimulateController(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxIR > 0.024 {
+		t.Errorf("policy violated its own constraint: %.2f mV", res.MaxIR*1000)
+	}
+	if res.Bandwidth <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestEndToEndCostFlow(t *testing.T) {
+	bench, err := LoadBenchmark("wideio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	baseCost, err := cm.Total(bench.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseCost <= 0 || baseCost > 2 {
+		t.Errorf("Wide I/O baseline cost %.3f implausible", baseCost)
+	}
+	// Paper Table 9: Wide I/O baseline cost 0.62.
+	if math.Abs(baseCost-0.62) > 0.12 {
+		t.Errorf("Wide I/O baseline cost %.3f, paper 0.62", baseCost)
+	}
+}
+
+func TestAllBenchmarksAnalyzeCoarse(t *testing.T) {
+	benches, err := AllBenchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 9 baseline IR drops per benchmark.
+	want := map[string]float64{"ddr3-off": 30.03, "ddr3-on": 31.18, "wideio": 13.62, "hmc": 47.90}
+	for _, b := range benches {
+		spec := b.Spec.Clone()
+		spec.MeshPitch = 0.4
+		var logic *LogicPowerModel
+		if spec.OnLogic {
+			logic = b.LogicPower
+		}
+		a, err := NewAnalyzer(spec, b.DRAMPower, logic)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		w := want[b.Name]
+		if res.MaxIRmV() < w*0.7 || res.MaxIRmV() > w*1.4 {
+			t.Errorf("%s baseline = %.2f mV, paper %.2f (coarse-mesh band +/-30%%)",
+				b.Name, res.MaxIRmV(), w)
+		}
+	}
+}

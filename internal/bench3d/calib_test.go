@@ -1,0 +1,157 @@
+package bench3d
+
+import (
+	"testing"
+
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/pdn"
+)
+
+// TestCalibrationTargets exercises the two anchor points the reproduction
+// is calibrated on plus the headline §3.1 coupling numbers, with loose
+// tolerances (the tight per-table comparisons live in internal/exp).
+func TestCalibrationTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration solve is slow")
+	}
+	offB, err := StackedDDR3Off()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := irdrop.New(offB.Spec, offB.DRAMPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.AnalyzeCounts(offB.DefaultCounts, offB.DefaultIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("off-chip baseline: %.2f mV (paper 30.03)", r.MaxIRmV())
+	if r.MaxIRmV() < 24 || r.MaxIRmV() > 36 {
+		t.Errorf("off-chip baseline %.2f mV outside 30.03 +/- 20%%", r.MaxIRmV())
+	}
+
+	// Stand-alone logic noise: on-chip benchmark with an idle DRAM stack
+	// approximates the T2 alone (§3.1: 50.05 mV logic noise).
+	onB, err := StackedDDR3On()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSpec := onB.Spec.Clone()
+	onSpec.DedicatedTSV = false
+	aOn, err := irdrop.New(onSpec, onB.DRAMPower, onB.LogicPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOn, err := aOn.AnalyzeCounts(onB.DefaultCounts, onB.DefaultIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("on-chip coupled DRAM: %.2f mV (paper 64.41), logic: %.2f mV (paper 50.05)",
+		rOn.MaxIRmV(), rOn.LogicIRmV())
+	if rOn.LogicIRmV() < 38 || rOn.LogicIRmV() > 63 {
+		t.Errorf("logic noise %.2f mV outside 50.05 +/- 25%%", rOn.LogicIRmV())
+	}
+	if rOn.MaxIRmV() < 48 || rOn.MaxIRmV() > 81 {
+		t.Errorf("coupled on-chip DRAM IR %.2f mV outside 64.41 +/- 25%%", rOn.MaxIRmV())
+	}
+
+	// Dedicated TSVs decouple the PDNs: IR returns near the off-chip value
+	// (paper: 31.18 mV).
+	rDed, err := irdrop.New(onB.Spec, onB.DRAMPower, onB.LogicPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := rDed.AnalyzeCounts(onB.DefaultCounts, onB.DefaultIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("on-chip dedicated: %.2f mV (paper 31.18)", rd.MaxIRmV())
+	if rd.MaxIRmV() < 24 || rd.MaxIRmV() > 39 {
+		t.Errorf("dedicated on-chip %.2f mV outside 31.18 +/- 25%%", rd.MaxIRmV())
+	}
+
+	// F2F headline: off-chip 0-0-0-2 drops from ~30 to ~17 mV (-42.8%).
+	f2f := offB.Spec.Clone()
+	f2f.Bonding = pdn.F2F
+	aF, err := irdrop.New(f2f, offB.DRAMPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := aF.AnalyzeCounts(offB.DefaultCounts, offB.DefaultIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := (r.MaxIR - rf.MaxIR) / r.MaxIR * 100
+	t.Logf("off-chip F2F: %.2f mV (-%.1f%%; paper 17.18, -42.8%%)", rf.MaxIRmV(), red)
+	if red < 25 || red > 60 {
+		t.Errorf("F2F reduction %.1f%% outside 42.8 +/- ~15 points", red)
+	}
+}
+
+func TestAllBenchmarksBuild(t *testing.T) {
+	bs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 4 {
+		t.Fatalf("benchmarks = %d, want 4", len(bs))
+	}
+	for _, b := range bs {
+		if err := b.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if err := b.DRAMPower.Validate(); err != nil {
+			t.Errorf("%s power: %v", b.Name, err)
+		}
+		if b.Spec.OnLogic && b.LogicPower == nil {
+			t.Errorf("%s: on-chip benchmark without logic power", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ddr3-off", "ddr3-on", "wideio", "hmc"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if b.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, b.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name: want error")
+	}
+}
+
+func TestSpacesSane(t *testing.T) {
+	bs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		s := b.Space
+		if s.M2Range[0] > s.M2Range[1] || s.M3Range[0] > s.M3Range[1] || s.TSVRange[0] > s.TSVRange[1] {
+			t.Errorf("%s: inverted range in space %+v", b.Name, s)
+		}
+		if len(s.Locations) == 0 {
+			t.Errorf("%s: no TSV locations", b.Name)
+		}
+	}
+	w, _ := WideIO()
+	if w.Space.TSVRange != [2]int{160, 160} {
+		t.Error("Wide I/O TSV count must be fixed at 160")
+	}
+	h, _ := HMC()
+	found := false
+	for _, l := range h.Space.Locations {
+		if l == pdn.DistributedTSV {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("HMC must allow distributed TSVs")
+	}
+}

@@ -1,0 +1,152 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pdn3d/internal/floorplan"
+	"pdn3d/internal/pdn"
+	"pdn3d/internal/tech"
+)
+
+func baseSpec(t *testing.T) *pdn.Spec {
+	t.Helper()
+	fp, err := floorplan.DDR3Die(floorplan.DefaultDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pdn.Spec{
+		Name: "t", NumDRAM: 4, DRAM: fp, DRAMTech: tech.DRAM20(1.5),
+		Usage:    map[string]float64{"M2": 0.10, "M3": 0.20},
+		Bonding:  pdn.F2B,
+		TSVStyle: pdn.EdgeTSV,
+		TSVCount: 33,
+	}
+}
+
+func TestTable8Ranges(t *testing.T) {
+	// Table 8: each term's cost range at its input range endpoints.
+	m := Default()
+	cases := []struct {
+		mut  func(*pdn.Spec)
+		term func(Terms) float64
+		want float64
+	}{
+		{func(s *pdn.Spec) { s.Usage["M2"] = 0.10 }, func(x Terms) float64 { return x.M2 }, 0.025},
+		{func(s *pdn.Spec) { s.Usage["M2"] = 0.20 }, func(x Terms) float64 { return x.M2 }, 0.050},
+		{func(s *pdn.Spec) { s.Usage["M3"] = 0.10 }, func(x Terms) float64 { return x.M3 }, 0.025},
+		{func(s *pdn.Spec) { s.Usage["M3"] = 0.40 }, func(x Terms) float64 { return x.M3 }, 0.100},
+		{func(s *pdn.Spec) { s.TSVCount = 15 }, func(x Terms) float64 { return x.TSV }, 0.0775},
+		{func(s *pdn.Spec) { s.TSVCount = 480 }, func(x Terms) float64 { return x.TSV }, 0.438},
+	}
+	for i, c := range cases {
+		s := baseSpec(t)
+		c.mut(s)
+		terms, err := m.Of(s)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := c.term(terms); math.Abs(got-c.want) > 0.005 {
+			t.Errorf("case %d: term = %.4f, want ~%.4f (Table 8)", i, got, c.want)
+		}
+	}
+}
+
+func TestOptionAdders(t *testing.T) {
+	m := Default()
+	s := baseSpec(t)
+	base, err := m.Total(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := baseSpec(t)
+	wb.WireBond = true
+	tot, _ := m.Total(wb)
+	if math.Abs(tot-base-0.03) > 1e-9 {
+		t.Errorf("wire bond adder = %.4f, want 0.03", tot-base)
+	}
+	rl := baseSpec(t)
+	rl.RDL = pdn.RDLInterface
+	tot, _ = m.Total(rl)
+	if math.Abs(tot-base-0.05) > 1e-9 {
+		t.Errorf("RDL adder = %.4f, want 0.05", tot-base)
+	}
+	f2f := baseSpec(t)
+	f2f.Bonding = pdn.F2F
+	tot, _ = m.Total(f2f)
+	if math.Abs(tot-base-0.015) > 1e-9 {
+		t.Errorf("F2F premium = %.4f, want 0.015 (0.06 vs 0.045)", tot-base)
+	}
+}
+
+func TestLocationCosts(t *testing.T) {
+	m := Default()
+	center := baseSpec(t)
+	center.TSVStyle = pdn.CenterTSV
+	edge := baseSpec(t)
+	dist := baseSpec(t)
+	dist.TSVStyle = pdn.DistributedTSV
+	tc, _ := m.Of(center)
+	te, _ := m.Of(edge)
+	td, _ := m.Of(dist)
+	if tc.Location != 0 {
+		t.Errorf("center location cost = %g, want 0", tc.Location)
+	}
+	if math.Abs(te.Location-0.5*te.TSV) > 1e-12 {
+		t.Errorf("edge location cost = %g, want 0.5 x TSV cost %g", te.Location, te.TSV)
+	}
+	if math.Abs(td.Location-td.TSV) > 1e-12 {
+		t.Errorf("distributed location cost = %g, want TSV cost %g", td.Location, td.TSV)
+	}
+}
+
+func TestBaselineCostNearPaper(t *testing.T) {
+	// Table 9: the off-chip stacked DDR3 baseline costs 0.35.
+	m := Default()
+	tot, err := m.Total(baseSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tot-0.35) > 0.02 {
+		t.Errorf("baseline cost = %.3f, want ~0.35 (Table 9)", tot)
+	}
+}
+
+func TestIRCostEndpoints(t *testing.T) {
+	if got := IRCost(30, 0.35, 0); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("alpha=0: %g, want pure cost", got)
+	}
+	if got := IRCost(30, 0.35, 1); math.Abs(got-30) > 1e-12 {
+		t.Errorf("alpha=1: %g, want pure IR", got)
+	}
+	if !math.IsInf(IRCost(0, 0.35, 0.5), 1) {
+		t.Error("non-positive IR should give +Inf")
+	}
+}
+
+func TestIRCostMonotone(t *testing.T) {
+	f := func(irRaw, costRaw, aRaw float64) bool {
+		ir := 1 + math.Mod(math.Abs(irRaw), 100)
+		c := 0.1 + math.Mod(math.Abs(costRaw), 2)
+		a := math.Mod(math.Abs(aRaw), 1)
+		return IRCost(ir*1.1, c, a) >= IRCost(ir, c, a)-1e-12 &&
+			IRCost(ir, c*1.1, a) >= IRCost(ir, c, a)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRDLAllCostsMore(t *testing.T) {
+	m := Default()
+	ifc := baseSpec(t)
+	ifc.RDL = pdn.RDLInterface
+	all := baseSpec(t)
+	all.RDL = pdn.RDLAll
+	ti, _ := m.Total(ifc)
+	ta, _ := m.Total(all)
+	if ta <= ti {
+		t.Errorf("RDL-all %.3f should cost more than interface RDL %.3f", ta, ti)
+	}
+}

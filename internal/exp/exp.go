@@ -1,0 +1,132 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation: one function per experiment, returning report tables/series
+// that cmd/tables prints and bench_test.go drives.
+//
+// The experiment index (paper table/figure -> function) lives in DESIGN.md;
+// EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"pdn3d/internal/bench3d"
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/lut"
+	"pdn3d/internal/memctrl"
+	"pdn3d/internal/memstate"
+	"pdn3d/internal/pdn"
+	"pdn3d/internal/powermap"
+)
+
+// Config tunes experiment fidelity against runtime.
+type Config struct {
+	// MeshPitch overrides every design's R-Mesh pitch (mm). Zero keeps
+	// the specs' defaults (0.2 mm). Benchmarks and smoke tests use a
+	// coarser pitch for speed.
+	MeshPitch float64
+	// Requests overrides the controller workload length (0 = 10000).
+	Requests int
+}
+
+// Runner executes experiments, caching analyzers and look-up tables across
+// experiments that share a design.
+type Runner struct {
+	Cfg Config
+
+	analyzers map[string]*irdrop.Analyzer
+	luts      map[string]*lut.Table
+}
+
+// NewRunner returns a Runner with the given fidelity configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		Cfg:       cfg,
+		analyzers: map[string]*irdrop.Analyzer{},
+		luts:      map[string]*lut.Table{},
+	}
+}
+
+// requests returns the workload length.
+func (r *Runner) requests() int {
+	if r.Cfg.Requests > 0 {
+		return r.Cfg.Requests
+	}
+	return 10000
+}
+
+// prepare applies the runner's fidelity overrides to a cloned spec.
+func (r *Runner) prepare(spec *pdn.Spec) *pdn.Spec {
+	s := spec.Clone()
+	if r.Cfg.MeshPitch > 0 {
+		s.MeshPitch = r.Cfg.MeshPitch
+	}
+	return s
+}
+
+// specKey fingerprints a spec's option fields for caching.
+func specKey(s *pdn.Spec, withLogic bool) string {
+	failed := make([]int, 0, len(s.FailedTSVs))
+	for k := range s.FailedTSVs {
+		failed = append(failed, k)
+	}
+	sort.Ints(failed)
+	return fmt.Sprintf("%s|%d|%v|%v|%d|%v|%v|%v|%v|%v|%v|%.3f|%v|%v|%v",
+		s.Name, s.NumDRAM, s.Usage, s.LogicUsage, s.TSVCount, s.TSVStyle,
+		s.Bonding, s.RDL, s.WireBond, s.DedicatedTSV, s.AlignTSV,
+		s.EffMeshPitch(), s.OnLogic, withLogic, failed)
+}
+
+// analyzer returns a cached analyzer for the prepared spec.
+func (r *Runner) analyzer(spec *pdn.Spec, dram *powermap.DRAMModel, logic *powermap.LogicModel) (*irdrop.Analyzer, error) {
+	key := specKey(spec, logic != nil)
+	if a, ok := r.analyzers[key]; ok {
+		return a, nil
+	}
+	a, err := irdrop.New(spec, dram, logic)
+	if err != nil {
+		return nil, err
+	}
+	r.analyzers[key] = a
+	return a, nil
+}
+
+// lutFor returns a cached IR-drop look-up table for the prepared spec.
+func (r *Runner) lutFor(spec *pdn.Spec, dram *powermap.DRAMModel, logic *powermap.LogicModel) (*lut.Table, error) {
+	key := "lut|" + specKey(spec, logic != nil)
+	if t, ok := r.luts[key]; ok {
+		return t, nil
+	}
+	a, err := r.analyzer(spec, dram, logic)
+	if err != nil {
+		return nil, err
+	}
+	t, err := lut.Build(a, memstate.MaxInterleavedBanks, lut.DefaultIOLevels())
+	if err != nil {
+		return nil, err
+	}
+	r.luts[key] = t
+	return t, nil
+}
+
+// analyzeCounts is a convenience wrapper: analyze a count state at the
+// paper's default worst-case placement.
+func analyzeCounts(a *irdrop.Analyzer, counts []int, io float64) (*irdrop.Result, error) {
+	return a.AnalyzeCounts(counts, io)
+}
+
+// policyRun simulates one (policy, scheduler) pair on a fresh workload.
+func (r *Runner) policyRun(b *bench3d.Benchmark, table *lut.Table,
+	policy memctrl.IRPolicy, sched memctrl.Scheduler, irLimitV float64) (*memctrl.Result, error) {
+
+	cfg := memctrl.DefaultConfig(policy, sched, table, irLimitV)
+	cfg.Dies = b.Spec.NumDRAM
+	cfg.BanksPerDie = b.Spec.DRAM.NumBanks
+	wl := memctrl.DefaultWorkload(cfg.Dies, cfg.BanksPerDie)
+	wl.Requests = r.requests()
+	reqs, err := memctrl.Generate(wl)
+	if err != nil {
+		return nil, err
+	}
+	return memctrl.Simulate(cfg, reqs)
+}

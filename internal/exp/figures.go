@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"fmt"
+
+	"pdn3d/internal/bench3d"
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/memctrl"
+	"pdn3d/internal/memstate"
+	"pdn3d/internal/pdn"
+	"pdn3d/internal/report"
+)
+
+// Figure4 validates the production R-Mesh against the refined-mesh golden
+// reference on the 2D DDR3 design, in the spirit of the paper's R-Mesh vs.
+// Cadence EPS comparison (max IR 32.2 vs. 32.6 mV, 1.3 % error, 517x
+// speedup). The two left banks run the interleaving read.
+func (r *Runner) Figure4() (*report.Table, *irdrop.Validation, error) {
+	b, err := bench3d.StackedDDR3Off()
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := irdrop.SingleDie2D(r.prepare(b.Spec))
+	// Left two banks (column 0: banks 4 and 6 in the upper-left rows).
+	state := memstate.State{Dies: [][]int{{4, 6}}}
+	v, err := irdrop.Validate(spec, b.DRAMPower, nil, state, 1.0)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title:  "Figure 4: R-Mesh validation against the refined-mesh reference (2D DDR3)",
+		Header: []string{"model", "nodes", "max IR (mV)", "runtime"},
+	}
+	t.AddRow("reference (2x refined)", v.FineNodes, v.FineIR*1000, v.FineTime.Round(1e6).String())
+	t.AddRow("R-Mesh", v.CoarseNodes, v.CoarseIR*1000, v.CoarseTime.Round(1e6).String())
+	t.AddRow("error / speedup", "-", fmt.Sprintf("%.2f%%", v.ErrPct), fmt.Sprintf("%.0fx", v.Speedup))
+	t.Notes = append(t.Notes, "paper: EPS 32.6 mV vs R-Mesh 32.2 mV, 1.3% error, 517x speedup")
+	return t, v, nil
+}
+
+// Figure5 sweeps the PG TSV count for the off-chip and on-chip stacked
+// DDR3, with and without C4 alignment (paper Figure 5(b)): more TSVs
+// saturate, and aligning TSVs to C4 bumps removes the lateral detour
+// through the logic die (up to ~51.5 % in the paper).
+func (r *Runner) Figure5() (*report.Series, error) {
+	off, err := bench3d.StackedDDR3Off()
+	if err != nil {
+		return nil, err
+	}
+	on, err := bench3d.StackedDDR3On()
+	if err != nil {
+		return nil, err
+	}
+	tsvCounts := []int{15, 33, 60, 120, 240, 480}
+	s := &report.Series{
+		Title:  "Figure 5: TSV count and alignment impact (stacked DDR3, 0-0-0-2, max IR mV)",
+		XLabel: "TSV count",
+		YLabel: "max IR drop (mV)",
+		Names:  []string{"off-chip", "on-chip misaligned", "on-chip aligned"},
+		Y:      make([][]float64, 3),
+	}
+	for _, tc := range tsvCounts {
+		s.X = append(s.X, float64(tc))
+
+		offSpec := r.prepare(off.Spec)
+		offSpec.TSVCount = tc
+		aOff, err := r.analyzer(offSpec, off.DRAMPower, nil)
+		if err != nil {
+			return nil, err
+		}
+		rOff, err := aOff.AnalyzeCounts(off.DefaultCounts, off.DefaultIO)
+		if err != nil {
+			return nil, err
+		}
+		s.Y[0] = append(s.Y[0], rOff.MaxIRmV())
+
+		for i, aligned := range []bool{false, true} {
+			onSpec := r.prepare(on.Spec)
+			onSpec.DedicatedTSV = false
+			onSpec.TSVCount = tc
+			onSpec.AlignTSV = aligned
+			a, err := r.analyzer(onSpec, on.DRAMPower, on.LogicPower)
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.AnalyzeCounts(on.DefaultCounts, on.DefaultIO)
+			if err != nil {
+				return nil, err
+			}
+			s.Y[1+i] = append(s.Y[1+i], res.MaxIRmV())
+		}
+	}
+	return s, nil
+}
+
+// Figure9Case is one of the Table 7 design cases driving Figure 9.
+type Figure9Case struct {
+	// Label is the case number and summary.
+	Label string
+	// Mut derives the case's spec from the benchmark baselines.
+	OnChip   bool
+	Bonding  pdn.Bonding
+	Metal    float64 // PDN metal multiplier (1.0 or 1.5)
+	WireBond bool
+	// PaperIR is Table 7's max IR for the case.
+	PaperIR float64
+}
+
+// Table7Cases returns the six design cases of Table 7.
+func Table7Cases() []Figure9Case {
+	return []Figure9Case{
+		{Label: "1: off F2B 1x", OnChip: false, Bonding: pdn.F2B, Metal: 1.0, PaperIR: 30.03},
+		{Label: "2: off F2B 1.5x", OnChip: false, Bonding: pdn.F2B, Metal: 1.5, PaperIR: 22.15},
+		{Label: "3: off F2F 1x", OnChip: false, Bonding: pdn.F2F, Metal: 1.0, PaperIR: 17.18},
+		{Label: "4: on F2B 1x", OnChip: true, Bonding: pdn.F2B, Metal: 1.0, PaperIR: 64.41},
+		{Label: "5: on F2B 1x WB", OnChip: true, Bonding: pdn.F2B, Metal: 1.0, WireBond: true, PaperIR: 30.04},
+		{Label: "6: on F2F 1x", OnChip: true, Bonding: pdn.F2F, Metal: 1.0, PaperIR: 65.43},
+	}
+}
+
+// caseSpec builds the benchmark and spec for one Table 7 case.
+func (r *Runner) caseSpec(c Figure9Case) (*bench3d.Benchmark, *pdn.Spec, error) {
+	var b *bench3d.Benchmark
+	var err error
+	if c.OnChip {
+		b, err = bench3d.StackedDDR3On()
+	} else {
+		b, err = bench3d.StackedDDR3Off()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := r.prepare(b.Spec)
+	spec.DedicatedTSV = false
+	spec.Bonding = c.Bonding
+	spec.WireBond = c.WireBond
+	spec.Usage["M2"] *= c.Metal
+	spec.Usage["M3"] *= c.Metal
+	return b, spec, nil
+}
+
+// Table7 evaluates the six design cases' maximum IR drops.
+func (r *Runner) Table7() (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Table 7: design cases for the IR-drop vs. performance study",
+		Header: []string{"case", "max IR (mV)", "paper (mV)"},
+	}
+	for _, c := range Table7Cases() {
+		b, spec, err := r.caseSpec(c)
+		if err != nil {
+			return nil, err
+		}
+		var logic = b.LogicPower
+		if !spec.OnLogic {
+			logic = nil
+		}
+		a, err := r.analyzer(spec, b.DRAMPower, logic)
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Label, res.MaxIRmV(), c.PaperIR)
+	}
+	return t, nil
+}
+
+// Figure9 sweeps the IR-drop constraint and reports the DistR runtime for
+// every Table 7 case (paper Figure 9): tighter constraints forbid memory
+// states and stretch runtime; designs with lower IR tolerate tighter
+// constraints, and the F2F design crosses over the 1.5x-metal design below
+// ~18 mV thanks to PDN sharing at low bank activities.
+func (r *Runner) Figure9(constraintsMV []float64) (*report.Series, error) {
+	if len(constraintsMV) == 0 {
+		constraintsMV = []float64{14, 16, 18, 20, 22, 24, 26, 28, 30}
+	}
+	cases := Table7Cases()
+	s := &report.Series{
+		Title:  "Figure 9: runtime vs. IR-drop constraint (10k reads, DistR; 0 = no state allowed)",
+		XLabel: "constraint (mV)",
+		YLabel: "runtime (us)",
+		Y:      make([][]float64, len(cases)),
+	}
+	for _, c := range cases {
+		s.Names = append(s.Names, c.Label)
+	}
+	for _, mv := range constraintsMV {
+		s.X = append(s.X, mv)
+	}
+	for ci, c := range cases {
+		b, spec, err := r.caseSpec(c)
+		if err != nil {
+			return nil, err
+		}
+		var logic = b.LogicPower
+		if !spec.OnLogic {
+			logic = nil
+		}
+		table, err := r.lutFor(spec, b.DRAMPower, logic)
+		if err != nil {
+			return nil, err
+		}
+		for _, mv := range constraintsMV {
+			// Feasibility first: if even a lone single-bank activation
+			// violates the constraint, no memory state is allowed and the
+			// workload cannot run (paper: runtime -> infinity). Report 0.
+			counts := make([]int, spec.NumDRAM)
+			counts[len(counts)-1] = 1
+			ir, err := table.MaxIR(counts, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			if ir > mv/1000 {
+				s.Y[ci] = append(s.Y[ci], 0)
+				continue
+			}
+			bb := *b
+			bb.Spec = spec
+			run, err := r.policyRun(&bb, table, memctrl.PolicyIRAware, memctrl.DistR, mv/1000)
+			if err != nil {
+				return nil, err
+			}
+			s.Y[ci] = append(s.Y[ci], run.RuntimeUS)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,226 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"pdn3d/internal/geom"
+)
+
+// DDR3Spec parameterizes the stacked-DDR3 DRAM die of Table 1.
+type DDR3Spec struct {
+	// W, H are the die dimensions in mm (paper: 6.8 x 6.7).
+	W, H float64
+	// Banks is the bank count (paper: 8, laid out 2 columns x 4 rows).
+	Banks int
+}
+
+// DefaultDDR3 matches the Table 1 stacked-DDR3 die.
+func DefaultDDR3() DDR3Spec { return DDR3Spec{W: 6.8, H: 6.7, Banks: 8} }
+
+// DDR3Die builds the stacked-DDR3 die floorplan: two bank columns separated
+// by a center column-path strip, a center horizontal peripheral/IO strip,
+// and a row-decoder sliver on the inner edge of every bank.
+func DDR3Die(spec DDR3Spec) (*Floorplan, error) {
+	if spec.Banks%4 != 0 || spec.Banks <= 0 {
+		return nil, fmt.Errorf("floorplan: DDR3 bank count %d must be a positive multiple of 4", spec.Banks)
+	}
+	const (
+		colStripW = 0.50 // center vertical column-path strip
+		periphH   = 0.70 // center horizontal peripheral/IO strip
+		rowDecW   = 0.30 // per-bank row-decoder sliver
+	)
+	f := &Floorplan{
+		Name:     "ddr3",
+		Outline:  geom.R(0, 0, spec.W, spec.H),
+		NumBanks: spec.Banks,
+	}
+	cx := spec.W / 2
+	cy := spec.H / 2
+	f.Blocks = append(f.Blocks,
+		Block{Name: "periph", Kind: Peripheral, Bank: -1,
+			Rect: geom.R(0, cy-periphH/2, spec.W, periphH)},
+		Block{Name: "colpath.bot", Kind: ColumnPath, Bank: -1,
+			Rect: geom.R(cx-colStripW/2, 0, colStripW, cy-periphH/2)},
+		Block{Name: "colpath.top", Kind: ColumnPath, Bank: -1,
+			Rect: geom.R(cx-colStripW/2, cy+periphH/2, colStripW, cy-periphH/2)},
+	)
+
+	rows := spec.Banks / 2
+	halfW := (spec.W - colStripW) / 2
+	arrW := halfW - rowDecW
+	bankH := (spec.H - periphH) / float64(rows)
+	for b := 0; b < spec.Banks; b++ {
+		col := b % 2 // 0 = left, 1 = right
+		row := b / 2 // 0 = bottom ... rows-1 = top
+		y := float64(row) * bankH
+		if float64(row) >= float64(rows)/2 {
+			y += periphH // banks above the center strip shift up
+		}
+		var arrX, decX float64
+		if col == 0 {
+			arrX = 0
+			decX = arrW
+		} else {
+			arrX = cx + colStripW/2 + rowDecW
+			decX = cx + colStripW/2
+		}
+		f.Blocks = append(f.Blocks,
+			Block{Name: fmt.Sprintf("bank%d.array", b), Kind: BankArray, Bank: b,
+				Rect: geom.R(arrX, y, arrW, bankH)},
+			Block{Name: fmt.Sprintf("bank%d.rowdec", b), Kind: RowDecoder, Bank: b,
+				Rect: geom.R(decX, y, rowDecW, bankH)},
+		)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WideIOSpec parameterizes the Wide I/O DRAM die of Table 1.
+type WideIOSpec struct {
+	// W, H are the die dimensions in mm (paper: 7.2 x 7.2).
+	W, H float64
+	// Banks is the bank count (paper: 16, four per channel quadrant).
+	Banks int
+}
+
+// DefaultWideIO matches the Table 1 Wide I/O die.
+func DefaultWideIO() WideIOSpec { return WideIOSpec{W: 7.2, H: 7.2, Banks: 16} }
+
+// WideIODie builds the Wide I/O die: four channel quadrants of four banks
+// each around a center cross of peripheral strips. The JEDEC-mandated
+// center micro-bump/TSV field occupies the middle of the horizontal strip.
+func WideIODie(spec WideIOSpec) (*Floorplan, error) {
+	if spec.Banks != 16 {
+		return nil, fmt.Errorf("floorplan: Wide I/O bank count %d must be 16 (4 channels x 4 banks)", spec.Banks)
+	}
+	const (
+		periphH   = 0.80 // center horizontal strip holding the bump field
+		colStripW = 0.60 // center vertical strip
+		rowDecW   = 0.25
+		bumpW     = 2.40 // JEDEC center bump field width
+	)
+	f := &Floorplan{
+		Name:     "wideio",
+		Outline:  geom.R(0, 0, spec.W, spec.H),
+		NumBanks: spec.Banks,
+	}
+	cx, cy := spec.W/2, spec.H/2
+	f.Blocks = append(f.Blocks,
+		Block{Name: "periph", Kind: Peripheral, Bank: -1,
+			Rect: geom.R(0, cy-periphH/2, spec.W, periphH)},
+		Block{Name: "bumps", Kind: TSVRegion, Bank: -1,
+			Rect: geom.R(cx-bumpW/2, cy-periphH/2, bumpW, periphH)},
+		Block{Name: "colpath.bot", Kind: ColumnPath, Bank: -1,
+			Rect: geom.R(cx-colStripW/2, 0, colStripW, cy-periphH/2)},
+		Block{Name: "colpath.top", Kind: ColumnPath, Bank: -1,
+			Rect: geom.R(cx-colStripW/2, cy+periphH/2, colStripW, cy-periphH/2)},
+	)
+	// Quadrants: channel q = 0..3 (SW, SE, NW, NE), banks 4q..4q+3 inside
+	// as a 2x2 grid; the row decoder faces the center vertical strip.
+	halfW := (spec.W - colStripW) / 2
+	halfH := (spec.H - periphH) / 2
+	bankW := (halfW - rowDecW) / 2
+	bankH := halfH / 2
+	for q := 0; q < 4; q++ {
+		left := q%2 == 0
+		bottom := q/2 == 0
+		var x0, y0 float64
+		if left {
+			x0 = 0
+		} else {
+			x0 = cx + colStripW/2
+		}
+		if bottom {
+			y0 = 0
+		} else {
+			y0 = cy + periphH/2
+		}
+		// Row decoder sliver on the quadrant's inner vertical edge.
+		decX := x0 + bankW*2
+		if !left {
+			decX = x0
+			x0 += rowDecW
+		}
+		f.Blocks = append(f.Blocks, Block{
+			Name: fmt.Sprintf("ch%d.rowdec", q), Kind: RowDecoder, Bank: -1,
+			Rect: geom.R(decX, y0, rowDecW, halfH),
+		})
+		for i := 0; i < 4; i++ {
+			b := 4*q + i
+			bx := x0 + float64(i%2)*bankW
+			by := y0 + float64(i/2)*bankH
+			f.Blocks = append(f.Blocks, Block{
+				Name: fmt.Sprintf("bank%d.array", b), Kind: BankArray, Bank: b,
+				Rect: geom.R(bx, by, bankW, bankH),
+			})
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// HMCSpec parameterizes the HMC DRAM die of Table 1.
+type HMCSpec struct {
+	// W, H are the die dimensions in mm (paper: 7.2 x 6.4).
+	W, H float64
+	// Banks is the bank count (paper: 32, two per vault per die).
+	Banks int
+}
+
+// DefaultHMC matches the Table 1 HMC DRAM die.
+func DefaultHMC() HMCSpec { return HMCSpec{W: 7.2, H: 6.4, Banks: 32} }
+
+// HMCDie builds the HMC DRAM die: an 8x4 bank grid with vertical TSV
+// alleys between bank columns (the "distributed TSV" style places PG TSVs
+// in these alleys) and a center horizontal peripheral strip.
+func HMCDie(spec HMCSpec) (*Floorplan, error) {
+	if spec.Banks != 32 {
+		return nil, fmt.Errorf("floorplan: HMC bank count %d must be 32", spec.Banks)
+	}
+	const (
+		periphH = 0.60
+		alleyW  = 0.20 // TSV alley between bank columns
+		cols    = 8
+		rows    = 4
+	)
+	f := &Floorplan{
+		Name:     "hmc",
+		Outline:  geom.R(0, 0, spec.W, spec.H),
+		NumBanks: spec.Banks,
+	}
+	cy := spec.H / 2
+	f.Blocks = append(f.Blocks, Block{
+		Name: "periph", Kind: Peripheral, Bank: -1,
+		Rect: geom.R(0, cy-periphH/2, spec.W, periphH),
+	})
+	bankW := (spec.W - float64(cols-1)*alleyW) / float64(cols)
+	bankH := (spec.H - periphH) / float64(rows)
+	for c := 0; c < cols; c++ {
+		x := float64(c) * (bankW + alleyW)
+		if c > 0 {
+			f.Blocks = append(f.Blocks, Block{
+				Name: fmt.Sprintf("alley%d", c), Kind: TSVRegion, Bank: -1,
+				Rect: geom.R(x-alleyW, 0, alleyW, spec.H),
+			})
+		}
+		for r := 0; r < rows; r++ {
+			y := float64(r) * bankH
+			if r >= rows/2 {
+				y += periphH
+			}
+			b := c*rows + r
+			f.Blocks = append(f.Blocks, Block{
+				Name: fmt.Sprintf("bank%d.array", b), Kind: BankArray, Bank: b,
+				Rect: geom.R(x, y, bankW, bankH),
+			})
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,110 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"pdn3d/internal/geom"
+)
+
+// T2Spec parameterizes the OpenSPARC-T2-like host logic die.
+type T2Spec struct {
+	// W, H are the die dimensions in mm (paper: 9.0 x 8.0).
+	W, H float64
+	// Cores is the core count (T2: 8).
+	Cores int
+}
+
+// DefaultT2 matches the Table 1 host logic die.
+func DefaultT2() T2Spec { return T2Spec{W: 9.0, H: 8.0, Cores: 8} }
+
+// T2Die builds the host logic floorplan: two rows of cores along the top
+// and bottom die edges, a center band of L2 cache banks, and a crossbar /
+// SoC uncore block in the very middle. This mirrors the published
+// OpenSPARC T2 arrangement closely enough for PDN purposes: core hotspots
+// near the edges, cache in the middle.
+func T2Die(spec T2Spec) (*Floorplan, error) {
+	if spec.Cores%2 != 0 || spec.Cores <= 0 {
+		return nil, fmt.Errorf("floorplan: T2 core count %d must be positive and even", spec.Cores)
+	}
+	const coreH = 2.2
+	f := &Floorplan{
+		Name:    "t2",
+		Outline: geom.R(0, 0, spec.W, spec.H),
+	}
+	perRow := spec.Cores / 2
+	coreW := spec.W / float64(perRow)
+	for i := 0; i < perRow; i++ {
+		x := float64(i) * coreW
+		f.Blocks = append(f.Blocks,
+			Block{Name: fmt.Sprintf("core%d", i), Kind: Core, Bank: -1,
+				Rect: geom.R(x, 0, coreW, coreH)},
+			Block{Name: fmt.Sprintf("core%d", perRow+i), Kind: Core, Bank: -1,
+				Rect: geom.R(x, spec.H-coreH, coreW, coreH)},
+		)
+	}
+	// Center band: L2 banks flank a central crossbar.
+	bandY := coreH
+	bandH := spec.H - 2*coreH
+	xbarW := spec.W * 0.22
+	cacheW := (spec.W - xbarW) / 2
+	f.Blocks = append(f.Blocks,
+		Block{Name: "l2.left", Kind: Cache, Bank: -1,
+			Rect: geom.R(0, bandY, cacheW, bandH)},
+		Block{Name: "xbar", Kind: Uncore, Bank: -1,
+			Rect: geom.R(cacheW, bandY, xbarW, bandH)},
+		Block{Name: "l2.right", Kind: Cache, Bank: -1,
+			Rect: geom.R(cacheW+xbarW, bandY, cacheW, bandH)},
+	)
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// HMCLogicSpec parameterizes the HMC controller logic die.
+type HMCLogicSpec struct {
+	// W, H are the die dimensions in mm (paper: 8.8 x 6.4).
+	W, H float64
+	// Vaults is the vault controller count (HMC: 16).
+	Vaults int
+}
+
+// DefaultHMCLogic matches the Table 1 HMC logic die.
+func DefaultHMCLogic() HMCLogicSpec { return HMCLogicSpec{W: 8.8, H: 6.4, Vaults: 16} }
+
+// HMCLogicDie builds the HMC controller die: a grid of vault controllers in
+// the center (under the DRAM vaults) and SerDes/PHY strips along the left
+// and right edges where the interposer links leave the cube.
+func HMCLogicDie(spec HMCLogicSpec) (*Floorplan, error) {
+	if spec.Vaults%4 != 0 || spec.Vaults <= 0 {
+		return nil, fmt.Errorf("floorplan: HMC vault count %d must be a positive multiple of 4", spec.Vaults)
+	}
+	const serdesW = 0.9
+	f := &Floorplan{
+		Name:    "hmclogic",
+		Outline: geom.R(0, 0, spec.W, spec.H),
+	}
+	f.Blocks = append(f.Blocks,
+		Block{Name: "serdes.left", Kind: Uncore, Bank: -1,
+			Rect: geom.R(0, 0, serdesW, spec.H)},
+		Block{Name: "serdes.right", Kind: Uncore, Bank: -1,
+			Rect: geom.R(spec.W-serdesW, 0, serdesW, spec.H)},
+	)
+	cols := spec.Vaults / 4
+	rows := 4
+	vw := (spec.W - 2*serdesW) / float64(cols)
+	vh := spec.H / float64(rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			v := c*rows + r
+			f.Blocks = append(f.Blocks, Block{
+				Name: fmt.Sprintf("vault%d", v), Kind: Core, Bank: -1,
+				Rect: geom.R(serdesW+float64(c)*vw, float64(r)*vh, vw, vh),
+			})
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

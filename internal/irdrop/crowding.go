@@ -1,0 +1,68 @@
+package irdrop
+
+import (
+	"fmt"
+	"sort"
+
+	"pdn3d/internal/rmesh"
+)
+
+// CrowdingStats summarizes the current distribution over one branch kind —
+// the DC current-crowding view of the paper's TSV analysis reference
+// (Zhao et al. [6]): misaligned or badly placed TSVs draw unequal shares
+// of the supply current, stressing individual vias.
+type CrowdingStats struct {
+	// Kind is the branch class.
+	Kind rmesh.LinkKind
+	// Count is the branch population.
+	Count int
+	// TotalMA, MaxMA, MeanMA are the summed, peak and mean branch
+	// currents in milliamps.
+	TotalMA, MaxMA, MeanMA float64
+	// Crowding is MaxMA / MeanMA (1.0 = perfectly balanced).
+	Crowding float64
+	// P95MA is the 95th-percentile branch current in mA.
+	P95MA float64
+}
+
+// Crowding computes per-kind branch current statistics from an analysis
+// result's voltage solution.
+func (a *Analyzer) Crowding(r *Result) ([]CrowdingStats, error) {
+	if len(r.IR) != a.Model.N() {
+		return nil, fmt.Errorf("irdrop: result does not carry a full IR vector")
+	}
+	// Node voltages from IR drops.
+	v := make([]float64, len(r.IR))
+	for i, d := range r.IR {
+		v[i] = a.Model.VDD - d
+	}
+	byKind := map[rmesh.LinkKind][]float64{}
+	for _, l := range a.Model.Links {
+		byKind[l.Kind] = append(byKind[l.Kind], l.Current(v, a.Model.VDD)*1000) // mA
+	}
+	kinds := make([]rmesh.LinkKind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	var out []CrowdingStats
+	for _, k := range kinds {
+		cur := byKind[k]
+		sort.Float64s(cur)
+		s := CrowdingStats{Kind: k, Count: len(cur)}
+		for _, c := range cur {
+			s.TotalMA += c
+			if c > s.MaxMA {
+				s.MaxMA = c
+			}
+		}
+		s.MeanMA = s.TotalMA / float64(len(cur))
+		if s.MeanMA > 0 {
+			s.Crowding = s.MaxMA / s.MeanMA
+		}
+		s.P95MA = cur[(len(cur)*95)/100]
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+// Package irdrop is the end-to-end DC IR-drop analysis engine: it couples
+// an R-Mesh model with the DRAM and logic power models, solves the nodal
+// system for a memory state, and reports the per-die and stack-wide maximum
+// IR drops that every experiment in the paper is built on.
+//
+// An Analyzer reuses its conductance matrix across memory states (only the
+// right-hand side changes) and memoizes results by state, which is what
+// makes look-up-table generation and design-space sweeps tractable — the
+// same property the paper exploits by replacing EPS extraction with the
+// R-Mesh (§2.2).
+package irdrop
+
+import (
+	"fmt"
+	"sync"
+
+	"pdn3d/internal/memstate"
+	"pdn3d/internal/pdn"
+	"pdn3d/internal/powermap"
+	"pdn3d/internal/rmesh"
+	"pdn3d/internal/solve"
+)
+
+// Analyzer runs IR-drop analyses on one design.
+type Analyzer struct {
+	// Model is the assembled R-Mesh.
+	Model *rmesh.Model
+	// DRAMPower is the DRAM die power model.
+	DRAMPower *powermap.DRAMModel
+	// LogicPower is the host logic power model (nil off-chip, or when the
+	// logic die should be analyzed unloaded).
+	LogicPower *powermap.LogicModel
+	// Opts tunes the CG solver. The zero value selects defaults good for
+	// millivolt-accurate results.
+	Opts solve.CGOptions
+
+	mu    sync.Mutex
+	cache map[string]*Result
+}
+
+// Result is one IR-drop analysis outcome.
+type Result struct {
+	// State is the analyzed memory state.
+	State memstate.State
+	// IO is the per-die I/O activity used.
+	IO float64
+	// MaxIR is the maximum IR drop over all DRAM dies in volts — the
+	// number the paper's tables report (in mV).
+	MaxIR float64
+	// PerDie is the per-DRAM-die maximum IR drop in volts.
+	PerDie []float64
+	// LogicIR is the logic die's maximum IR drop (0 when absent).
+	LogicIR float64
+	// TotalPower is the summed DRAM stack power in mW.
+	TotalPower float64
+	// ActiveDiePower is the power of one active die in mW (0 if none).
+	ActiveDiePower float64
+	// Stats reports the solve.
+	Stats solve.CGStats
+	// IR holds the full per-node IR-drop vector (volts) for map export.
+	IR []float64
+}
+
+// New builds an Analyzer for a design.
+func New(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel) (*Analyzer, error) {
+	if err := dramPower.Validate(); err != nil {
+		return nil, err
+	}
+	if logicPower != nil {
+		if err := logicPower.Validate(); err != nil {
+			return nil, err
+		}
+		if !spec.OnLogic {
+			return nil, fmt.Errorf("irdrop: logic power given for an off-chip design")
+		}
+	}
+	m, err := rmesh.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		Model:      m,
+		DRAMPower:  dramPower,
+		LogicPower: logicPower,
+		Opts:       solve.CGOptions{Tol: 1e-8, MaxIter: 60000},
+		cache:      map[string]*Result{},
+	}, nil
+}
+
+// Spec returns the analyzed design.
+func (a *Analyzer) Spec() *pdn.Spec { return a.Model.Spec }
+
+// Analyze solves the design under the given memory state and I/O activity.
+// Results are memoized by (state, io). Analyze is safe for concurrent use:
+// the conductance matrix is immutable after Build and each solve works on
+// its own vectors (concurrent misses on the same key may solve twice, but
+// both produce the same result).
+func (a *Analyzer) Analyze(state memstate.State, io float64) (*Result, error) {
+	key := fmt.Sprintf("%s@%.4f", state.Key(), io)
+	a.mu.Lock()
+	r, ok := a.cache[key]
+	a.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := a.analyze(state, io)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.cache[key] = r
+	a.mu.Unlock()
+	return r, nil
+}
+
+// AnalyzeCounts is Analyze for a bare per-die count vector using the
+// worst-case edge placement (paper §5.1).
+func (a *Analyzer) AnalyzeCounts(counts []int, io float64) (*Result, error) {
+	st, err := memstate.FromCounts(counts, memstate.WorstCaseEdge(a.Spec().DRAM.NumBanks))
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(st, io)
+}
+
+// LoadedRHS assembles the folded right-hand side for a state without
+// solving — ties plus all DRAM and logic loads. Used by the netlist
+// exporter.
+func (a *Analyzer) LoadedRHS(state memstate.State, io float64) ([]float64, error) {
+	spec := a.Spec()
+	m := a.Model
+	rhs := m.BaseRHS()
+	for d := 0; d < spec.NumDRAM; d++ {
+		var banks []int
+		if d < len(state.Dies) {
+			banks = state.Dies[d]
+		}
+		loads, err := a.DRAMPower.Loads(spec.DRAM, banks, io)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddDRAMLoads(rhs, d, loads); err != nil {
+			return nil, err
+		}
+	}
+	if a.LogicPower != nil {
+		loads, err := a.LogicPower.Loads(spec.Logic)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddLogicLoads(rhs, loads); err != nil {
+			return nil, err
+		}
+	}
+	return rhs, nil
+}
+
+func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
+	spec := a.Spec()
+	if state.NumDies() > spec.NumDRAM {
+		return nil, fmt.Errorf("irdrop: state has %d dies, design has %d", state.NumDies(), spec.NumDRAM)
+	}
+	m := a.Model
+	rhs := m.BaseRHS()
+	res := &Result{State: state, IO: io, PerDie: make([]float64, spec.NumDRAM)}
+	for d := 0; d < spec.NumDRAM; d++ {
+		var banks []int
+		if d < len(state.Dies) {
+			banks = state.Dies[d]
+		}
+		loads, err := a.DRAMPower.Loads(spec.DRAM, banks, io)
+		if err != nil {
+			return nil, err
+		}
+		p := powermap.TotalPower(loads)
+		res.TotalPower += p
+		if len(banks) > 0 {
+			res.ActiveDiePower = p
+		}
+		if err := m.AddDRAMLoads(rhs, d, loads); err != nil {
+			return nil, err
+		}
+	}
+	if a.LogicPower != nil {
+		loads, err := a.LogicPower.Loads(spec.Logic)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddLogicLoads(rhs, loads); err != nil {
+			return nil, err
+		}
+	}
+	v, stats, err := m.Solve(rhs, a.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("irdrop: %s state %s: %w", spec.Name, state, err)
+	}
+	res.Stats = stats
+	res.IR = m.IRDrop(v)
+	for d := 0; d < spec.NumDRAM; d++ {
+		res.PerDie[d] = m.DieMaxIR(res.IR, d)
+		if res.PerDie[d] > res.MaxIR {
+			res.MaxIR = res.PerDie[d]
+		}
+	}
+	if spec.OnLogic {
+		res.LogicIR = m.DieMaxIR(res.IR, rmesh.DieLogic)
+	}
+	return res, nil
+}
+
+// MaxIRmV returns the stack maximum IR drop in millivolts.
+func (r *Result) MaxIRmV() float64 { return r.MaxIR * 1000 }
+
+// LogicIRmV returns the logic die maximum IR drop in millivolts.
+func (r *Result) LogicIRmV() float64 { return r.LogicIR * 1000 }

@@ -1,0 +1,179 @@
+// Package lut builds the IR-drop look-up table at the heart of the paper's
+// IR-drop-aware read policies (§5.2): for every memory state (per-die
+// active-bank counts) and a set of per-die I/O activity levels, the maximum
+// IR drop is pre-computed with the R-Mesh engine and stored for O(1)
+// queries by the memory controller.
+package lut
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pdn3d/internal/irdrop"
+)
+
+// Table is an immutable IR-drop look-up table.
+type Table struct {
+	// Dies is the DRAM die count of the design.
+	Dies int
+	// MaxPerDie is the largest per-die active bank count covered
+	// (2 for interleaving read, §2.3).
+	MaxPerDie int
+	// IOLevels are the covered per-die I/O activity levels, ascending.
+	IOLevels []float64
+
+	entries map[string]float64 // key -> max IR in volts
+}
+
+// DefaultIOLevels covers the paper's Table 5 activity points. With the
+// shared zero-bubble bus, per-die activity is 1/k for k active dies, so
+// these levels cover stacks of up to four dies exactly.
+func DefaultIOLevels() []float64 { return []float64{0.25, 0.5, 1.0} }
+
+// Build pre-computes the table with the given analyzer. The analyzer's
+// design defines the die and bank counts; states use the worst-case edge
+// placement like the paper's Table 5.
+func Build(a *irdrop.Analyzer, maxPerDie int, ioLevels []float64) (*Table, error) {
+	if maxPerDie < 1 {
+		return nil, fmt.Errorf("lut: maxPerDie %d must be >= 1", maxPerDie)
+	}
+	if len(ioLevels) == 0 {
+		return nil, fmt.Errorf("lut: no IO levels")
+	}
+	levels := append([]float64(nil), ioLevels...)
+	sort.Float64s(levels)
+	for _, io := range levels {
+		if io <= 0 || io > 1 {
+			return nil, fmt.Errorf("lut: IO level %g out of (0,1]", io)
+		}
+	}
+	dies := a.Spec().NumDRAM
+	t := &Table{
+		Dies:      dies,
+		MaxPerDie: maxPerDie,
+		IOLevels:  levels,
+		entries:   make(map[string]float64),
+	}
+	// Enumerate all count vectors, then solve them in parallel: each
+	// solve only reads the shared conductance matrix, and Analyze is safe
+	// for concurrent use.
+	var states [][]int
+	counts := make([]int, dies)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == dies {
+			states = append(states, append([]int(nil), counts...))
+			return
+		}
+		for c := 0; c <= maxPerDie; c++ {
+			counts[d] = c
+			rec(d + 1)
+		}
+		counts[d] = 0
+	}
+	rec(0)
+
+	type entry struct {
+		k string
+		v float64
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(states) {
+		workers = len(states)
+	}
+	// Buffered and pre-filled so an erroring worker can bail out without
+	// blocking anyone.
+	work := make(chan []int, len(states))
+	for _, c := range states {
+		work <- c
+	}
+	close(work)
+	results := make(chan entry, len(states)*len(levels))
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				for _, io := range levels {
+					r, err := a.AnalyzeCounts(c, io)
+					if err != nil {
+						errs <- err
+						return
+					}
+					results <- entry{k: key(c, io), v: r.MaxIR}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	for e := range results {
+		t.entries[e.k] = e.v
+	}
+	return t, nil
+}
+
+// Entries returns the number of stored (state, io) points.
+func (t *Table) Entries() int { return len(t.entries) }
+
+// MaxIR returns the maximum IR drop in volts for the given per-die counts
+// at per-die I/O activity io. The io is rounded UP to the nearest covered
+// level (conservative for constraint checks); counts above MaxPerDie or a
+// mismatched die count return an error.
+func (t *Table) MaxIR(counts []int, io float64) (float64, error) {
+	if len(counts) != t.Dies {
+		return 0, fmt.Errorf("lut: %d dies, table covers %d", len(counts), t.Dies)
+	}
+	for _, c := range counts {
+		if c < 0 || c > t.MaxPerDie {
+			return 0, fmt.Errorf("lut: count %d outside [0,%d]", c, t.MaxPerDie)
+		}
+	}
+	level := t.IOLevels[len(t.IOLevels)-1]
+	for i := len(t.IOLevels) - 1; i >= 0; i-- {
+		if t.IOLevels[i] >= io-1e-12 {
+			level = t.IOLevels[i]
+		} else {
+			break
+		}
+	}
+	v, ok := t.entries[key(counts, level)]
+	if !ok {
+		return 0, fmt.Errorf("lut: missing entry for %v@%g", counts, level)
+	}
+	return v, nil
+}
+
+// WorstIR returns the largest IR drop stored in the table.
+func (t *Table) WorstIR() float64 {
+	var mx float64
+	for _, v := range t.entries {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+func key(counts []int, io float64) string {
+	var sb strings.Builder
+	for i, c := range counts {
+		if i > 0 {
+			sb.WriteByte('-')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	fmt.Fprintf(&sb, "@%.4f", io)
+	return sb.String()
+}

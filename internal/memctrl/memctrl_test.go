@@ -1,0 +1,250 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimingValidate(t *testing.T) {
+	if err := DDR3_1600().Validate(); err != nil {
+		t.Fatalf("default timing invalid: %v", err)
+	}
+	bad := DDR3_1600()
+	bad.TCL = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tCL: want error")
+	}
+	bad2 := DDR3_1600()
+	bad2.TRAS = 5
+	if err := bad2.Validate(); err == nil {
+		t.Error("tRAS < tRCD: want error")
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	cfg := DefaultWorkload(4, 8)
+	cfg.Requests = 5000
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 5000 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	hits := 0
+	for i, r := range reqs {
+		if r.Die < 0 || r.Die >= 4 || r.Bank < 0 || r.Bank >= 8 || r.Row < 0 || r.Row >= cfg.Rows {
+			t.Fatalf("request %d out of range: %+v", i, r)
+		}
+		if r.Arrival != int64(i*cfg.InterArrival) {
+			t.Fatalf("request %d arrival %d, want %d", i, r.Arrival, i*cfg.InterArrival)
+		}
+		if i > 0 && r.Die == reqs[i-1].Die && r.Bank == reqs[i-1].Bank && r.Row == reqs[i-1].Row {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(len(reqs)-1)
+	if math.Abs(rate-0.8) > 0.03 {
+		t.Errorf("row-streak rate = %.3f, want ~0.80", rate)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(DefaultWorkload(4, 8))
+	b, _ := Generate(DefaultWorkload(4, 8))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	cfg := DefaultWorkload(4, 8)
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	for _, mut := range []func(*WorkloadConfig){
+		func(c *WorkloadConfig) { c.Requests = 0 },
+		func(c *WorkloadConfig) { c.InterArrival = 0 },
+		func(c *WorkloadConfig) { c.RowHitRate = 1.0 },
+		func(c *WorkloadConfig) { c.Dies = 0 },
+	} {
+		cfg := DefaultWorkload(4, 8)
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %+v: want error", cfg)
+		}
+	}
+}
+
+func stdConfig() Config {
+	return DefaultConfig(PolicyStandard, FCFS, nil, 0)
+}
+
+func TestSimulateStandardCompletes(t *testing.T) {
+	cfg := stdConfig()
+	wl := DefaultWorkload(cfg.Dies, cfg.BanksPerDie)
+	wl.Requests = 2000
+	reqs, err := Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowHits+res.RowMisses < len(reqs) {
+		t.Errorf("hits %d + misses %d < %d requests", res.RowHits, res.RowMisses, len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Done <= r.Arrival {
+			t.Fatalf("request %d done %d not after arrival %d", i, r.Done, r.Arrival)
+		}
+	}
+	if res.Bandwidth <= 0 || res.Bandwidth > 0.25 {
+		t.Errorf("bandwidth %.3f outside (0, bus limit 0.25]", res.Bandwidth)
+	}
+	if res.MaxOpenBanks > cfg.Dies*cfg.MaxBanksPerDie {
+		t.Errorf("open banks %d exceed interleave cap", res.MaxOpenBanks)
+	}
+	t.Logf("standard: %.1f us, BW %.3f, ACTs %d, open<=%d, blocked %d",
+		res.RuntimeUS, res.Bandwidth, res.Activations, res.MaxOpenBanks, res.Blocked)
+}
+
+func TestStandardRespectsTFAW(t *testing.T) {
+	// All requests to distinct banks, same arrival burst: activations
+	// must be spaced by tRRD and capped 4-per-tFAW.
+	cfg := stdConfig()
+	var reqs []Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, Request{ID: i, Arrival: 0, Die: i % 4, Bank: (i * 3) % 8, Row: i})
+	}
+	if _, err := Simulate(cfg, reqs); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct ACT times from the sim: re-run with instrumentation via
+	// the result counters instead; here just assert it completed — the
+	// detailed window check is in the whitebox test below.
+}
+
+func TestTFAWWindowWhitebox(t *testing.T) {
+	s := &sim{cfg: stdConfig()}
+	s.banks = make([][]bank, 4)
+	for d := range s.banks {
+		s.banks[d] = make([]bank, 8)
+	}
+	s.openPerDie = make([]int, 4)
+	s.lastACT = -100
+	// Four activates inside the window block the fifth.
+	s.actTimes = []int64{10, 20, 28, 36}
+	s.now = 40
+	if s.mayActivate(0) {
+		t.Error("fifth ACT inside tFAW window must be blocked")
+	}
+	s.now = 44 // window (12,44]: ACT@10 expired; tRRD 8 from 36 also met
+	s.lastACT = 36
+	if !s.mayActivate(0) {
+		t.Error("ACT should be allowed once the window drains and tRRD passes")
+	}
+}
+
+func TestInterleaveCapWhitebox(t *testing.T) {
+	// The standard policy treats the stack as one DDR3 device: two open
+	// banks anywhere exhaust the interleave budget.
+	s := &sim{cfg: stdConfig()}
+	s.openPerDie = []int{2, 0, 0, 0}
+	s.lastACT = -100
+	if s.mayActivate(0) {
+		t.Error("third bank on the same die must be blocked")
+	}
+	if s.mayActivate(1) {
+		t.Error("standard policy must block other dies too (stack-wide cap)")
+	}
+	s.openPerDie = []int{1, 0, 0, 0}
+	if !s.mayActivate(1) {
+		t.Error("second bank within the stack-wide budget should be allowed")
+	}
+}
+
+func TestPerDieIO(t *testing.T) {
+	// Active dies split the bus evenly; a single open bank already
+	// sustains the full stream (tCCD = burst length).
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{[]int{0, 0, 0, 2}, 1.0},
+		{[]int{0, 0, 0, 1}, 1.0},
+		{[]int{0, 0, 2, 2}, 0.5},
+		{[]int{2, 2, 2, 2}, 0.25},
+		{[]int{0, 0, 1, 1}, 0.5},
+		{[]int{0, 0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := perDieIO(c.counts, 2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("perDieIO(%v) = %g, want %g", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestPerDieIOBounded(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		counts := []int{int(a % 3), int(b % 3), int(c % 3), int(d % 3)}
+		io := perDieIO(counts, 2)
+		return io >= 0 && io <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := stdConfig()
+	if _, err := Simulate(cfg, nil); err == nil {
+		t.Error("empty stream: want error")
+	}
+	bad := []Request{{Die: 9, Bank: 0}}
+	if _, err := Simulate(cfg, bad); err == nil {
+		t.Error("out-of-range die: want error")
+	}
+	irCfg := DefaultConfig(PolicyIRAware, DistR, nil, 0.024)
+	if _, err := Simulate(irCfg, []Request{{}}); err == nil {
+		t.Error("IR-aware without LUT: want error")
+	}
+}
+
+func TestRowHitsDominateWithLocality(t *testing.T) {
+	cfg := stdConfig()
+	wl := DefaultWorkload(cfg.Dies, cfg.BanksPerDie)
+	wl.Requests = 3000
+	reqs, _ := Generate(wl)
+	res, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRate := float64(res.RowHits) / float64(res.RowHits+res.RowMisses)
+	if hitRate < 0.5 {
+		t.Errorf("row hit rate %.2f too low for an 80%%-locality stream", hitRate)
+	}
+	t.Logf("observed row hit rate %.2f", hitRate)
+}
+
+func TestStringers(t *testing.T) {
+	if PolicyStandard.String() != "Standard" || PolicyIRAware.String() != "IR-aware" {
+		t.Error("policy strings")
+	}
+	if FCFS.String() != "FCFS" || DistR.String() != "DistR" {
+		t.Error("scheduler strings")
+	}
+}

@@ -1,0 +1,358 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"pdn3d/internal/lut"
+)
+
+// IRPolicy selects how the controller limits parallel activations.
+type IRPolicy uint8
+
+const (
+	// PolicyStandard is the JEDEC DDR3 policy: global tRRD spacing and a
+	// four-activate tFAW window, blind to 3D stacking (§5.2).
+	PolicyStandard IRPolicy = iota
+	// PolicyIRAware replaces tRRD/tFAW with a look-up-table check: an
+	// activation issues only if the resulting memory state's maximum IR
+	// drop stays under the configured constraint.
+	PolicyIRAware
+)
+
+func (p IRPolicy) String() string {
+	if p == PolicyIRAware {
+		return "IR-aware"
+	}
+	return "Standard"
+}
+
+// Scheduler selects the queue priority order.
+type Scheduler uint8
+
+const (
+	// FCFS gives the oldest request the highest priority.
+	FCFS Scheduler = iota
+	// DistR (distributed-read) gives requests targeting the die with the
+	// fewest open banks the highest priority, balancing reads across dies
+	// to raise parallelism under the IR constraint (§5.2).
+	DistR
+)
+
+func (s Scheduler) String() string {
+	if s == DistR {
+		return "DistR"
+	}
+	return "FCFS"
+}
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Timing is the DRAM timing set.
+	Timing Timing
+	// Dies and BanksPerDie define the stack geometry.
+	Dies, BanksPerDie int
+	// Channels is the independent channel count. Stacked DDR3 has one
+	// channel; Wide I/O has four (one per quadrant); HMC has sixteen
+	// vault channels.
+	Channels int
+	// ChannelOf maps a request's (die, bank) to its channel. Nil selects
+	// the default bank%Channels interleaving.
+	ChannelOf func(die, bank int) int
+	// QueueDepth is the priority queue size (paper: 32).
+	QueueDepth int
+	// Policy selects standard vs. IR-drop-aware activation limiting.
+	Policy IRPolicy
+	// Sched selects FCFS vs. DistR priority.
+	Sched Scheduler
+	// IRLimit is the IR-drop constraint in volts for PolicyIRAware.
+	IRLimit float64
+	// LUT is the IR-drop look-up table; required for PolicyIRAware and
+	// used in any mode to report the worst memory-state IR encountered.
+	LUT *lut.Table
+	// MaxBanksPerDie caps simultaneously open banks per die
+	// (2: interleave limit protecting the charge pumps, §2.3).
+	MaxBanksPerDie int
+	// IdleClose closes a bank after this many cycles without reads
+	// (§2.3). Zero selects 24.
+	IdleClose int
+	// Lookahead caps how deep into the priority order the scheduler
+	// searches for an issuable command each cycle. FCFS keeps near-arrival
+	// order with a small window; DistR re-sorts the whole queue, so depth
+	// matters less there. Zero selects 6 for FCFS and the full queue for
+	// DistR.
+	Lookahead int
+}
+
+// DefaultConfig returns the paper's controller setup for a 4-die, 8-bank
+// stacked DDR3 with the given policy and scheduler.
+func DefaultConfig(policy IRPolicy, sched Scheduler, table *lut.Table, irLimitV float64) Config {
+	return Config{
+		Timing:         DDR3_1600(),
+		Dies:           4,
+		BanksPerDie:    8,
+		Channels:       1,
+		QueueDepth:     32,
+		Policy:         policy,
+		Sched:          sched,
+		IRLimit:        irLimitV,
+		LUT:            table,
+		MaxBanksPerDie: 2,
+		IdleClose:      0, // package default
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.Dies <= 0 || c.BanksPerDie <= 0 {
+		return fmt.Errorf("memctrl: empty stack geometry %dx%d", c.Dies, c.BanksPerDie)
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("memctrl: channels %d must be positive", c.Channels)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("memctrl: queue depth %d must be positive", c.QueueDepth)
+	}
+	if c.MaxBanksPerDie <= 0 {
+		return fmt.Errorf("memctrl: max banks per die %d must be positive", c.MaxBanksPerDie)
+	}
+	if c.Policy == PolicyIRAware {
+		if c.LUT == nil {
+			return fmt.Errorf("memctrl: IR-aware policy needs a look-up table")
+		}
+		if c.IRLimit <= 0 {
+			return fmt.Errorf("memctrl: IR-aware policy needs a positive IR limit")
+		}
+		if c.LUT.Dies != c.Dies {
+			return fmt.Errorf("memctrl: LUT covers %d dies, stack has %d", c.LUT.Dies, c.Dies)
+		}
+	}
+	return nil
+}
+
+func (c *Config) idleClose() int64 {
+	if c.IdleClose > 0 {
+		return int64(c.IdleClose)
+	}
+	return 28
+}
+
+func (c *Config) lookahead(queueLen int) int {
+	if c.Lookahead > 0 {
+		return c.Lookahead
+	}
+	if c.Sched == FCFS {
+		return 16
+	}
+	return queueLen
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Cycles is the total runtime in memory clocks.
+	Cycles int64
+	// RuntimeUS is the runtime in microseconds.
+	RuntimeUS float64
+	// Bandwidth is reads per clock (the paper's Table 6 metric).
+	Bandwidth float64
+	// MaxIR is the worst memory-state IR drop encountered (V), from the
+	// LUT; zero when no LUT was given.
+	MaxIR float64
+	// RowHits and RowMisses count read outcomes.
+	RowHits, RowMisses int
+	// Activations counts ACT commands.
+	Activations int
+	// AvgLatency is the mean arrival-to-data-end latency in cycles.
+	AvgLatency float64
+	// MaxOpenBanks is the peak number of simultaneously open banks.
+	MaxOpenBanks int
+	// Blocked counts scheduling attempts rejected by the IR constraint
+	// or the standard policy's windows.
+	Blocked int64
+}
+
+type bankState uint8
+
+const (
+	bankIdle bankState = iota
+	bankActivating
+	bankActive
+	bankPrecharging
+)
+
+type bank struct {
+	state   bankState
+	row     int
+	ready   int64 // cycle the current transition completes
+	rasEnd  int64 // earliest precharge (ACT + tRAS)
+	nextRD  int64 // earliest next read issue (tCCD)
+	lastUse int64 // last read data-end (idle-close countdown)
+}
+
+// Simulate runs the request stream to completion and returns statistics.
+// The input slice's Done fields are filled in place.
+func Simulate(cfg Config, reqs []Request) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("memctrl: empty request stream")
+	}
+	s := &sim{cfg: cfg, reqs: reqs}
+	return s.run()
+}
+
+type sim struct {
+	cfg  Config
+	reqs []Request
+
+	now      int64
+	banks    [][]bank // [die][bank]
+	busUntil []int64  // per channel
+	queue    []*Request
+	nextArr  int
+	done     int
+
+	openPerDie []int
+	lastACT    int64
+	actTimes   []int64 // ACT history for tFAW
+	res        Result
+	latSum     int64
+}
+
+func (s *sim) run() (*Result, error) {
+	cfg := &s.cfg
+	s.banks = make([][]bank, cfg.Dies)
+	for d := range s.banks {
+		s.banks[d] = make([]bank, cfg.BanksPerDie)
+	}
+	s.busUntil = make([]int64, cfg.Channels)
+	s.openPerDie = make([]int, cfg.Dies)
+	s.lastACT = -int64(cfg.Timing.TRRD)
+
+	for _, r := range s.reqs {
+		if r.Die < 0 || r.Die >= cfg.Dies || r.Bank < 0 || r.Bank >= cfg.BanksPerDie {
+			return nil, fmt.Errorf("memctrl: request %d targets die %d bank %d outside %dx%d stack",
+				r.ID, r.Die, r.Bank, cfg.Dies, cfg.BanksPerDie)
+		}
+	}
+
+	guard := int64(len(s.reqs))*int64(cfg.Timing.TRAS+cfg.Timing.TRP+cfg.Timing.TRCD+cfg.Timing.TCL+64) + 1_000_000
+	for s.done < len(s.reqs) {
+		if s.now > guard {
+			return nil, fmt.Errorf("memctrl: simulation exceeded %d cycles (deadlock?)", guard)
+		}
+		s.tick()
+		s.now++
+	}
+	s.res.Cycles = s.maxDone()
+	s.res.RuntimeUS = float64(s.res.Cycles) * cfg.Timing.ClockNS / 1000
+	s.res.Bandwidth = float64(len(s.reqs)) / float64(s.res.Cycles)
+	s.res.AvgLatency = float64(s.latSum) / float64(len(s.reqs))
+	return &s.res, nil
+}
+
+func (s *sim) maxDone() int64 {
+	var mx int64
+	for i := range s.reqs {
+		if s.reqs[i].Done > mx {
+			mx = s.reqs[i].Done
+		}
+	}
+	return mx
+}
+
+func (s *sim) tick() {
+	s.updateBanks()
+	s.admitArrivals()
+	s.schedule()
+	s.observeIR()
+}
+
+// updateBanks advances bank state machines and applies the idle-close
+// policy.
+func (s *sim) updateBanks() {
+	idle := s.cfg.idleClose()
+	for d := range s.banks {
+		for b := range s.banks[d] {
+			bk := &s.banks[d][b]
+			switch bk.state {
+			case bankActivating:
+				if s.now >= bk.ready {
+					bk.state = bankActive
+				}
+			case bankPrecharging:
+				if s.now >= bk.ready {
+					bk.state = bankIdle
+				}
+			case bankActive:
+				if s.now >= bk.rasEnd && s.now-bk.lastUse >= idle && s.now >= bk.nextRD {
+					bk.state = bankPrecharging
+					bk.ready = s.now + int64(s.cfg.Timing.TRP)
+					s.openPerDie[d]--
+				}
+			}
+		}
+	}
+}
+
+func (s *sim) admitArrivals() {
+	for s.nextArr < len(s.reqs) && len(s.queue) < s.cfg.QueueDepth &&
+		s.reqs[s.nextArr].Arrival <= s.now {
+		s.queue = append(s.queue, &s.reqs[s.nextArr])
+		s.nextArr++
+	}
+}
+
+// observeIR looks up the current memory state's IR drop and tracks the
+// worst one seen (what the paper's Table 6 reports as "Max IR drop").
+func (s *sim) observeIR() {
+	if s.cfg.LUT == nil {
+		return
+	}
+	counts, active := s.countsAndActive(-1, 0)
+	if active == 0 {
+		return
+	}
+	ir, err := s.cfg.LUT.MaxIR(counts, perDieIO(counts, s.cfg.MaxBanksPerDie))
+	if err == nil && ir > s.res.MaxIR {
+		s.res.MaxIR = ir
+	}
+}
+
+// countsAndActive returns the per-die open bank counts; when extraDie >= 0
+// the hypothetical extra open banks are added to that die.
+func (s *sim) countsAndActive(extraDie, extra int) ([]int, int) {
+	counts := make([]int, s.cfg.Dies)
+	active := 0
+	for d, n := range s.openPerDie {
+		counts[d] = n
+		if extraDie == d {
+			counts[d] += extra
+		}
+		if counts[d] > 0 {
+			active++
+		}
+	}
+	return counts, active
+}
+
+// perDieIO returns the per-die I/O activity of a memory state on the
+// shared zero-bubble bus: active dies split the bus evenly. A single open
+// bank already sustains the full stream (tCCD equals the burst length), so
+// the bank count does not enter.
+func perDieIO(counts []int, maxPerDie int) float64 {
+	_ = maxPerDie
+	active := 0
+	for _, c := range counts {
+		if c > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return 1 / float64(active)
+}

@@ -1,0 +1,75 @@
+// Package memctrl is the cycle-accurate 3D DRAM memory controller
+// simulator of the paper's Section 2.3 and 5: per-bank state machines with
+// the major DDR3 read timing parameters, a 32-entry priority queue,
+// a synthetic read workload with row locality, and the three read policies
+// of Table 6 — the JEDEC standard policy (tRRD/tFAW), the IR-drop-aware
+// first-come-first-served policy, and the IR-drop-aware distributed-read
+// policy driven by the R-Mesh look-up table.
+package memctrl
+
+import "fmt"
+
+// Timing holds the DRAM read timing parameters in memory-clock cycles
+// (§2.3: tCL, tRCD, tRP, tRAS, tCCD are modelled; tRRD and tFAW implement
+// the JEDEC standard policy).
+type Timing struct {
+	// TCL is the read (CAS) latency.
+	TCL int
+	// TRCD is the activate-to-read delay.
+	TRCD int
+	// TRP is the precharge time.
+	TRP int
+	// TRAS is the minimum activate-to-precharge time.
+	TRAS int
+	// TCCD is the minimum read-to-read spacing on one bank.
+	TCCD int
+	// TRRD is the standard policy's activate-to-activate spacing.
+	TRRD int
+	// TFAW is the standard policy's four-activate window.
+	TFAW int
+	// BurstCycles is the data-bus occupancy of one read burst
+	// (BL8 on a DDR bus = 4 clocks).
+	BurstCycles int
+	// BusGap is the bus turnaround between consecutive bursts from
+	// different sources (die-to-die switching on the shared TSV bus).
+	BusGap int
+	// ClockNS is the memory clock period in nanoseconds.
+	ClockNS float64
+}
+
+// DDR3_1600 returns DDR3-1600K-class timing (800 MHz clock), with the
+// paper's standard-policy tRRD = 8 and tFAW = 32.
+func DDR3_1600() Timing {
+	return Timing{
+		TCL: 11, TRCD: 11, TRP: 11, TRAS: 28, TCCD: 4,
+		TRRD: 8, TFAW: 32,
+		BurstCycles: 4, BusGap: 2, ClockNS: 1.25,
+	}
+}
+
+// Validate checks the parameters for consistency.
+func (t Timing) Validate() error {
+	type field struct {
+		name string
+		v    int
+	}
+	for _, f := range []field{
+		{"tCL", t.TCL}, {"tRCD", t.TRCD}, {"tRP", t.TRP}, {"tRAS", t.TRAS},
+		{"tCCD", t.TCCD}, {"tRRD", t.TRRD}, {"tFAW", t.TFAW},
+		{"burst", t.BurstCycles},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("memctrl: %s = %d must be positive", f.name, f.v)
+		}
+	}
+	if t.ClockNS <= 0 {
+		return fmt.Errorf("memctrl: clock period %g must be positive", t.ClockNS)
+	}
+	if t.TRAS < t.TRCD {
+		return fmt.Errorf("memctrl: tRAS %d below tRCD %d", t.TRAS, t.TRCD)
+	}
+	if t.TFAW < t.TRRD {
+		return fmt.Errorf("memctrl: tFAW %d below tRRD %d", t.TFAW, t.TRRD)
+	}
+	return nil
+}

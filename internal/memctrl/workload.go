@@ -1,0 +1,90 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Request is one read request.
+type Request struct {
+	// ID is the request's position in the generated stream.
+	ID int
+	// Arrival is the cycle the request reaches the controller.
+	Arrival int64
+	// Die, Bank, Row address the target.
+	Die, Bank, Row int
+	// Done is filled by the simulator: the cycle the last data beat
+	// leaves the bus.
+	Done int64
+}
+
+// WorkloadConfig parameterizes the synthetic read stream of §2.3: 10 000
+// reads, one arrival every five cycles (a heavy load), and temporal/spatial
+// locality yielding an 80 % row-hit rate.
+type WorkloadConfig struct {
+	// Requests is the stream length.
+	Requests int
+	// InterArrival is the cycles between consecutive arrivals.
+	InterArrival int
+	// RowHitRate is the probability that a request continues the current
+	// row streak (same die/bank/row as its predecessor).
+	RowHitRate float64
+	// Dies, Banks, Rows bound the address space.
+	Dies, Banks, Rows int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// DefaultWorkload returns the paper's workload for a stack with the given
+// geometry.
+func DefaultWorkload(dies, banks int) WorkloadConfig {
+	return WorkloadConfig{
+		Requests:     10000,
+		InterArrival: 5,
+		RowHitRate:   0.8,
+		Dies:         dies,
+		Banks:        banks,
+		Rows:         16384,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration.
+func (c WorkloadConfig) Validate() error {
+	if c.Requests <= 0 {
+		return fmt.Errorf("memctrl: workload needs requests, got %d", c.Requests)
+	}
+	if c.InterArrival <= 0 {
+		return fmt.Errorf("memctrl: inter-arrival %d must be positive", c.InterArrival)
+	}
+	if c.RowHitRate < 0 || c.RowHitRate >= 1 {
+		return fmt.Errorf("memctrl: row hit rate %g out of [0,1)", c.RowHitRate)
+	}
+	if c.Dies <= 0 || c.Banks <= 0 || c.Rows <= 0 {
+		return fmt.Errorf("memctrl: empty address space %dx%dx%d", c.Dies, c.Banks, c.Rows)
+	}
+	return nil
+}
+
+// Generate produces the request stream: each request either continues the
+// previous request's row streak (with probability RowHitRate) or jumps to a
+// uniformly random (die, bank, row).
+func Generate(c WorkloadConfig) ([]Request, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	out := make([]Request, c.Requests)
+	die, bank, row := rng.Intn(c.Dies), rng.Intn(c.Banks), rng.Intn(c.Rows)
+	for i := range out {
+		if i > 0 && rng.Float64() >= c.RowHitRate {
+			die, bank, row = rng.Intn(c.Dies), rng.Intn(c.Banks), rng.Intn(c.Rows)
+		}
+		out[i] = Request{
+			ID:      i,
+			Arrival: int64(i * c.InterArrival),
+			Die:     die, Bank: bank, Row: row,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package memstate
+
+import "fmt"
+
+// PairCase names one of the Figure 8 two-bank interleaving-read placements
+// on a DDR3-style 8-bank die (2 columns x 4 rows; bank b sits in column
+// b%2, row b/2).
+type PairCase string
+
+// The four placements of Figure 8. Case A concentrates both banks in the
+// top-right column pair (the worst-case edge placement); case B spreads the
+// pair across both columns next to the center peripheral strip; cases C and
+// D move the pair progressively further from case A's corner.
+const (
+	PairA PairCase = "a" // banks 5,7: top rows, right column
+	PairB PairCase = "b" // banks 2,3: center row, both columns
+	PairC PairCase = "c" // banks 1,3: bottom rows, right column
+	PairD PairCase = "d" // banks 0,2: bottom rows, left column (farthest from A)
+)
+
+// PairBanks returns the two active banks of the given case.
+func PairBanks(c PairCase) ([]int, error) {
+	switch c {
+	case PairA:
+		return []int{5, 7}, nil
+	case PairB:
+		return []int{2, 3}, nil
+	case PairC:
+		return []int{1, 3}, nil
+	case PairD:
+		return []int{0, 2}, nil
+	default:
+		return nil, fmt.Errorf("memstate: unknown pair case %q", c)
+	}
+}
+
+// PairState builds a 4-die state from per-die pair cases; an empty case
+// string leaves the die idle. Example: PairState("", "", "b", "a") is the
+// paper's "0-0-2b-2a" state.
+func PairState(cases ...PairCase) (State, error) {
+	s := State{Dies: make([][]int, len(cases))}
+	for d, c := range cases {
+		if c == "" {
+			continue
+		}
+		banks, err := PairBanks(c)
+		if err != nil {
+			return State{}, fmt.Errorf("die %d: %w", d+1, err)
+		}
+		s.Dies[d] = banks
+	}
+	return s, nil
+}
+
+// MustPairState is PairState for statically-valid cases; it panics on error.
+func MustPairState(cases ...PairCase) State {
+	s, err := PairState(cases...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// IntraPairOverlap reports whether, under F2F pairing of dies (0,1) and
+// (2,3), any F2F pair has both dies active with at least one bank in the
+// same location (same bank index, since F2F mates mirrored identical
+// layouts whose bank positions coincide).
+func IntraPairOverlap(s State) bool {
+	for p := 0; p+1 < len(s.Dies); p += 2 {
+		a, b := s.Dies[p], s.Dies[p+1]
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

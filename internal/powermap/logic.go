@@ -1,0 +1,83 @@
+package powermap
+
+import (
+	"fmt"
+
+	"pdn3d/internal/floorplan"
+)
+
+// LogicModel distributes a logic die's power over its floorplan.
+type LogicModel struct {
+	// Total is the die power in mW.
+	Total float64
+	// CoreFrac, CacheFrac, UncoreFrac split Total across block kinds;
+	// they must sum to 1 (within tolerance). Kinds missing from the
+	// floorplan donate their share to the remaining kinds pro rata.
+	CoreFrac, CacheFrac, UncoreFrac float64
+}
+
+// T2Power returns the OpenSPARC-T2-like host model. Total power is a
+// calibration input chosen (see internal/bench3d) so the stand-alone logic
+// die shows the paper's 50.05 mV supply noise.
+func T2Power(total float64) *LogicModel {
+	return &LogicModel{Total: total, CoreFrac: 0.62, CacheFrac: 0.22, UncoreFrac: 0.16}
+}
+
+// HMCLogicPower returns the HMC controller-die model: vault controllers
+// dominate, SerDes strips take the uncore share.
+func HMCLogicPower(total float64) *LogicModel {
+	return &LogicModel{Total: total, CoreFrac: 0.70, CacheFrac: 0, UncoreFrac: 0.30}
+}
+
+// Validate checks the model's fractions.
+func (m *LogicModel) Validate() error {
+	if m.Total < 0 {
+		return fmt.Errorf("powermap: negative logic power %g", m.Total)
+	}
+	s := m.CoreFrac + m.CacheFrac + m.UncoreFrac
+	if s < 0.999 || s > 1.001 {
+		return fmt.Errorf("powermap: logic fractions sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// Loads distributes the logic power over the floorplan blocks.
+func (m *LogicModel) Loads(fp *floorplan.Floorplan) ([]Load, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	shares := []struct {
+		kind floorplan.BlockKind
+		frac float64
+	}{
+		{floorplan.Core, m.CoreFrac},
+		{floorplan.Cache, m.CacheFrac},
+		{floorplan.Uncore, m.UncoreFrac},
+	}
+	// Redistribute shares of absent kinds.
+	var present float64
+	for _, s := range shares {
+		if len(fp.KindBlocks(s.kind)) > 0 {
+			present += s.frac
+		}
+	}
+	if present == 0 {
+		return nil, fmt.Errorf("powermap: floorplan %s has no logic blocks", fp.Name)
+	}
+	var loads []Load
+	for _, s := range shares {
+		blocks := fp.KindBlocks(s.kind)
+		if len(blocks) == 0 || s.frac == 0 {
+			continue
+		}
+		total := m.Total * s.frac / present
+		var area float64
+		for _, b := range blocks {
+			area += b.Rect.Area()
+		}
+		for _, b := range blocks {
+			loads = append(loads, Load{Rect: b.Rect, P: total * b.Rect.Area() / area})
+		}
+	}
+	return loads, nil
+}

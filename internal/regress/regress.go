@@ -1,0 +1,141 @@
+// Package regress implements the least-squares regression analysis of the
+// paper's §6.1: a polynomial/categorical feature model fitted to sampled
+// R-Mesh results so the co-optimizer can evaluate millions of candidate
+// designs without solving meshes (the paper reports RMSE < 0.135 and
+// R² > 0.999, cutting a 4637-hour brute force to ten hours).
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one observation: feature vector x and response y.
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// Fit is a fitted linear model y ≈ w·x (callers include a bias feature in
+// x when wanted).
+type Fit struct {
+	// W are the fitted weights.
+	W []float64
+	// RMSE is the training root-mean-square error.
+	RMSE float64
+	// R2 is the training coefficient of determination.
+	R2 float64
+}
+
+// LeastSquares fits w minimizing Σ(w·x − y)² via the normal equations with
+// a small ridge term for numerical safety.
+func LeastSquares(samples []Sample) (*Fit, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("regress: no samples")
+	}
+	p := len(samples[0].X)
+	if p == 0 {
+		return nil, fmt.Errorf("regress: empty feature vector")
+	}
+	for i, s := range samples {
+		if len(s.X) != p {
+			return nil, fmt.Errorf("regress: sample %d has %d features, want %d", i, len(s.X), p)
+		}
+	}
+	if len(samples) < p {
+		return nil, fmt.Errorf("regress: %d samples cannot determine %d weights", len(samples), p)
+	}
+
+	// Normal equations: (XᵀX + λI) w = Xᵀy.
+	const ridge = 1e-9
+	ata := make([][]float64, p)
+	for i := range ata {
+		ata[i] = make([]float64, p)
+		ata[i][i] = ridge
+	}
+	aty := make([]float64, p)
+	for _, s := range samples {
+		for i := 0; i < p; i++ {
+			aty[i] += s.X[i] * s.Y
+			for j := 0; j < p; j++ {
+				ata[i][j] += s.X[i] * s.X[j]
+			}
+		}
+	}
+	w, err := solveDense(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+
+	fit := &Fit{W: w}
+	var mean float64
+	for _, s := range samples {
+		mean += s.Y
+	}
+	mean /= float64(len(samples))
+	var ssRes, ssTot float64
+	for _, s := range samples {
+		r := fit.Predict(s.X) - s.Y
+		ssRes += r * r
+		d := s.Y - mean
+		ssTot += d * d
+	}
+	fit.RMSE = math.Sqrt(ssRes / float64(len(samples)))
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// Predict evaluates the model at x.
+func (f *Fit) Predict(x []float64) float64 {
+	var s float64
+	for i, w := range f.W {
+		s += w * x[i]
+	}
+	return s
+}
+
+// solveDense solves A·x = b by Gaussian elimination with partial pivoting.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-14 {
+			return nil, fmt.Errorf("regress: singular normal matrix at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

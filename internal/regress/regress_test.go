@@ -1,0 +1,129 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactLinearRecovery(t *testing.T) {
+	// y = 3 + 2a - 5b is recovered exactly from noise-free samples.
+	rng := rand.New(rand.NewSource(1))
+	var samples []Sample
+	for i := 0; i < 30; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		samples = append(samples, Sample{X: []float64{1, a, b}, Y: 3 + 2*a - 5*b})
+	}
+	fit, err := LeastSquares(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -5}
+	for i, w := range want {
+		if math.Abs(fit.W[i]-w) > 1e-6 {
+			t.Errorf("w[%d] = %g, want %g", i, fit.W[i], w)
+		}
+	}
+	if fit.RMSE > 1e-8 {
+		t.Errorf("RMSE = %g, want ~0", fit.RMSE)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %g, want ~1", fit.R2)
+	}
+}
+
+func TestNoisyFitQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var samples []Sample
+	for i := 0; i < 400; i++ {
+		a := rng.Float64() * 10
+		samples = append(samples, Sample{
+			X: []float64{1, a},
+			Y: 1 + 0.5*a + rng.NormFloat64()*0.1,
+		})
+	}
+	fit, err := LeastSquares(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.W[1]-0.5) > 0.02 {
+		t.Errorf("slope = %g, want ~0.5", fit.W[1])
+	}
+	if fit.RMSE > 0.15 {
+		t.Errorf("RMSE = %g, want ~0.1", fit.RMSE)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %g, want > 0.99", fit.R2)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := LeastSquares(nil); err == nil {
+		t.Error("no samples: want error")
+	}
+	if _, err := LeastSquares([]Sample{{X: nil, Y: 1}}); err == nil {
+		t.Error("empty features: want error")
+	}
+	bad := []Sample{{X: []float64{1, 2}, Y: 1}, {X: []float64{1}, Y: 2}}
+	if _, err := LeastSquares(bad); err == nil {
+		t.Error("ragged features: want error")
+	}
+	under := []Sample{{X: []float64{1, 2, 3}, Y: 1}}
+	if _, err := LeastSquares(under); err == nil {
+		t.Error("underdetermined: want error")
+	}
+}
+
+func TestCollinearFeaturesRejectedOrStable(t *testing.T) {
+	// Perfectly duplicated features are singular up to the ridge; the fit
+	// either errors or returns a finite, accurate predictor.
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		a := float64(i)
+		samples = append(samples, Sample{X: []float64{1, a, a}, Y: 2 * a})
+	}
+	fit, err := LeastSquares(samples)
+	if err != nil {
+		return // acceptable: flagged singular
+	}
+	for i := 0; i < 10; i++ {
+		a := float64(i)
+		if p := fit.Predict([]float64{1, a, a}); math.Abs(p-2*a) > 1e-3 {
+			t.Fatalf("collinear predict(%g) = %g, want %g", a, p, 2*a)
+		}
+	}
+}
+
+// Property: residuals of a least-squares fit are orthogonal to the feature
+// columns (the normal equations).
+func TestResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var samples []Sample
+		for i := 0; i < 50; i++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			samples = append(samples, Sample{
+				X: []float64{1, a, b},
+				Y: rng.NormFloat64() + a - b,
+			})
+		}
+		fit, err := LeastSquares(samples)
+		if err != nil {
+			return false
+		}
+		for col := 0; col < 3; col++ {
+			var dot float64
+			for _, s := range samples {
+				dot += (fit.Predict(s.X) - s.Y) * s.X[col]
+			}
+			if math.Abs(dot) > 1e-6*float64(len(samples)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

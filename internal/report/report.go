@@ -1,0 +1,134 @@
+// Package report renders experiment results as aligned plain-text tables
+// and data series, the formats cmd/tables and the benchmarks print when
+// regenerating the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row, converting every cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	all := make([][]string, 0, len(t.Rows)+1)
+	if len(t.Header) > 0 {
+		all = append(all, t.Header)
+	}
+	all = append(all, t.Rows...)
+	widths := columnWidths(all)
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func columnWidths(rows [][]string) []int {
+	var widths []int
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	return widths
+}
+
+// Series is a titled set of named curves sharing one x axis — the text
+// stand-in for the paper's figures.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Names  []string
+	X      []float64
+	Y      [][]float64 // Y[curve][point]
+}
+
+// String renders the series as an aligned x/y table, one column per curve.
+func (s *Series) String() string {
+	t := Table{Title: s.Title}
+	t.Header = append([]string{s.XLabel}, s.Names...)
+	for i, x := range s.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for c := range s.Y {
+			if i < len(s.Y[c]) {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[c][i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if s.YLabel != "" {
+		t.Notes = append(t.Notes, "y: "+s.YLabel)
+	}
+	return t.String()
+}
+
+// Pct formats a relative change as the paper does ("-30.6%").
+func Pct(base, v float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (v-base)/base*100)
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 12.345)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Value columns line up: "1" and "12.35" start at the same offset.
+	i1 := strings.Index(lines[3], "1")
+	i2 := strings.Index(lines[4], "12.35")
+	if i1 != i2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", i1, i2, out)
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("s", 1.23456, 42, true)
+	row := tb.Rows[0]
+	if row[0] != "s" || row[1] != "1.23" || row[2] != "42" || row[3] != "true" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestNotesRendered(t *testing.T) {
+	tb := &Table{Notes: []string{"hello"}}
+	tb.AddRow("x")
+	if !strings.Contains(tb.String(), "note: hello") {
+		t.Error("notes missing from output")
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{
+		Title:  "curves",
+		XLabel: "x",
+		YLabel: "why",
+		Names:  []string{"a", "b"},
+		X:      []float64{1, 2},
+		Y:      [][]float64{{10, 20}, {30}},
+	}
+	out := s.String()
+	if !strings.Contains(out, "curves") || !strings.Contains(out, "10.000") {
+		t.Errorf("series output missing content:\n%s", out)
+	}
+	// Missing point in curve b renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("short curve should pad with '-'")
+	}
+	if !strings.Contains(out, "y: why") {
+		t.Error("y label note missing")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(100, 70); got != "-30.0%" {
+		t.Errorf("Pct = %q, want -30.0%%", got)
+	}
+	if got := Pct(100, 144.2); got != "+44.2%" {
+		t.Errorf("Pct = %q, want +44.2%%", got)
+	}
+	if got := Pct(0, 5); got != "n/a" {
+		t.Errorf("Pct(0, x) = %q, want n/a", got)
+	}
+}

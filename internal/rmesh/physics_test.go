@@ -1,0 +1,164 @@
+package rmesh
+
+import (
+	"math"
+	"testing"
+
+	"pdn3d/internal/memstate"
+	"pdn3d/internal/pdn"
+	"pdn3d/internal/powermap"
+	"pdn3d/internal/solve"
+)
+
+// maxIR solves the given spec under 0-0-0-2@100% and returns the maximum
+// IR drop.
+func maxIR(t *testing.T, spec *pdn.Spec) float64 {
+	t.Helper()
+	spec.MeshPitch = 0.5
+	st, err := memstate.FromCounts([]int{0, 0, 0, 2}, memstate.WorstCaseEdge(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ir := solveState(t, spec, st, 1.0, 0)
+	var mx float64
+	for _, v := range ir {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Physics invariant: options that only ADD conductance to a grounded
+// resistive network can never raise any node's IR drop. Wire bonding,
+// extra aligned TSVs, and extra metal all fall in this class.
+func TestAddingConductanceNeverHurts(t *testing.T) {
+	base := maxIR(t, offChipSpec(t))
+
+	wb := offChipSpec(t)
+	wb.WireBond = true
+	if v := maxIR(t, wb); v > base*(1+1e-9) {
+		t.Errorf("wire bonding raised IR: %.3f -> %.3f mV", base*1000, v*1000)
+	}
+
+	metal := offChipSpec(t)
+	metal.Usage["M2"] *= 1.5
+	metal.Usage["M3"] *= 1.5
+	if v := maxIR(t, metal); v > base*(1+1e-9) {
+		t.Errorf("extra metal raised IR: %.3f -> %.3f mV", base*1000, v*1000)
+	}
+
+	moreTSV := offChipSpec(t)
+	moreTSV.TSVCount = 66 // same style, superset-ish edge pattern
+	if v := maxIR(t, moreTSV); v > base*1.02 {
+		t.Errorf("doubling TSVs raised IR by more than remesh noise: %.3f -> %.3f mV", base*1000, v*1000)
+	}
+}
+
+// Superposition: the IR field of two loads equals the sum of the fields of
+// each load alone (the system is linear).
+func TestSuperposition(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.MeshPitch = 0.5
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := powermap.StackedDDR3Power()
+	solveLoads := func(dies map[int][]int) []float64 {
+		rhs := m.BaseRHS()
+		for d := 0; d < spec.NumDRAM; d++ {
+			loads, err := pm.Loads(spec.DRAM, dies[d], 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AddDRAMLoads(rhs, d, loads); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, _, err := m.Solve(rhs, solve.CGOptions{Tol: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.IRDrop(v)
+	}
+	// All dies idle gives the standby field; subtract it to isolate the
+	// active-bank increments before comparing superpositions.
+	idle := solveLoads(map[int][]int{})
+	a := solveLoads(map[int][]int{3: {7}})
+	b := solveLoads(map[int][]int{1: {2}})
+	both := solveLoads(map[int][]int{3: {7}, 1: {2}})
+	for n := range both {
+		lhs := both[n] - idle[n]
+		rhs := (a[n] - idle[n]) + (b[n] - idle[n])
+		if math.Abs(lhs-rhs) > 5e-7 {
+			t.Fatalf("superposition violated at node %d: %.3e vs %.3e", n, lhs, rhs)
+		}
+	}
+}
+
+// Reciprocity-flavoured check: scaling all loads by k scales every IR drop
+// by k.
+func TestLinearityInLoad(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.MeshPitch = 0.5
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := powermap.StackedDDR3Power()
+	loads, err := pm.Loads(spec.DRAM, []int{7, 5}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(scale float64) []float64 {
+		rhs := m.BaseRHS()
+		scaled := make([]powermap.Load, len(loads))
+		for i, l := range loads {
+			scaled[i] = powermap.Load{Rect: l.Rect, P: l.P * scale}
+		}
+		if err := m.AddDRAMLoads(rhs, 3, scaled); err != nil {
+			t.Fatal(err)
+		}
+		v, _, err := m.Solve(rhs, solve.CGOptions{Tol: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.IRDrop(v)
+	}
+	one := run(1)
+	three := run(3)
+	for n := range one {
+		if math.Abs(three[n]-3*one[n]) > 1e-6 {
+			t.Fatalf("linearity violated at node %d: 3x load gives %.3e, want %.3e", n, three[n], 3*one[n])
+		}
+	}
+}
+
+// The IR drop is maximal somewhere strictly inside the loaded die — never
+// negative anywhere, and zero only if there were no loads at all.
+func TestIRFieldSanity(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.MeshPitch = 0.5
+	st, _ := memstate.FromCounts([]int{0, 0, 0, 2}, memstate.WorstCaseEdge(8))
+	m, ir := solveState(t, spec, st, 1.0, 0)
+	var min, max float64 = math.Inf(1), 0
+	for _, v := range ir {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min < -1e-9 {
+		t.Errorf("negative IR drop %.3e (node above VDD)", min)
+	}
+	if max <= 0 {
+		t.Error("no drop anywhere despite loads")
+	}
+	// The die-3 field must contain the global max (it hosts the load).
+	if got := m.DieMaxIR(ir, 3); math.Abs(got-max) > 1e-12 {
+		t.Errorf("global max %.4f not on the active die (die3 max %.4f)", max*1000, got*1000)
+	}
+}

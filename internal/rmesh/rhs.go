@@ -1,0 +1,109 @@
+package rmesh
+
+import (
+	"fmt"
+
+	"pdn3d/internal/powermap"
+	"pdn3d/internal/solve"
+)
+
+// BaseRHS returns the right-hand side of the folded nodal system with no
+// loads attached: every supply tie contributes g·VDD at its node.
+func (m *Model) BaseRHS() []float64 {
+	rhs := make([]float64, m.n)
+	for _, t := range m.Ties {
+		rhs[t.Node] += t.G * m.VDD
+	}
+	return rhs
+}
+
+// AddDRAMLoads rasterizes a DRAM die's power loads onto its load layer:
+// each load draws P/VDD milliamps spread uniformly over the mesh nodes its
+// rectangle covers.
+func (m *Model) AddDRAMLoads(rhs []float64, die int, loads []powermap.Load) error {
+	l, err := m.DRAMLoadLayer(die)
+	if err != nil {
+		return err
+	}
+	return addLoads(rhs, l, loads, m.VDD)
+}
+
+// AddLogicLoads rasterizes the logic die's loads onto its load layer.
+func (m *Model) AddLogicLoads(rhs []float64, loads []powermap.Load) error {
+	l := m.LogicLoadLayer()
+	if l == nil {
+		return fmt.Errorf("rmesh: design has no logic die")
+	}
+	return addLoads(rhs, l, loads, m.VDD)
+}
+
+func addLoads(rhs []float64, l *Layer, loads []powermap.Load, vdd float64) error {
+	for _, ld := range loads {
+		if ld.P == 0 {
+			continue
+		}
+		if ld.P < 0 {
+			return fmt.Errorf("rmesh: negative load %g mW at %v", ld.P, ld.Rect)
+		}
+		nodes := l.Grid.NodesIn(ld.Rect)
+		if len(nodes) == 0 {
+			return fmt.Errorf("rmesh: load rect %v covers no nodes of layer %s", ld.Rect, l.Key)
+		}
+		// Loads are in mW; the nodal system is SI (V, A, S), so convert.
+		iPer := ld.P / 1000 / vdd / float64(len(nodes))
+		for _, n := range nodes {
+			rhs[l.Offset+n] -= iPer
+		}
+	}
+	return nil
+}
+
+// Solve runs the preconditioned conjugate-gradient solver on the assembled
+// system and returns node voltages. The IC(0) factorization is built once
+// per model and shared across right-hand sides (and goroutines).
+func (m *Model) Solve(rhs []float64, opt solve.CGOptions) ([]float64, solve.CGStats, error) {
+	m.preOnce.Do(func() {
+		pre, err := solve.NewIC(m.Matrix)
+		if err == nil {
+			m.pre = pre
+		}
+	})
+	if m.pre == nil {
+		return solve.CG(m.Matrix, rhs, opt)
+	}
+	return solve.PCGWith(m.Matrix, m.pre, rhs, opt)
+}
+
+// IRDrop converts node voltages to IR drops (VDD − v).
+func (m *Model) IRDrop(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = m.VDD - x
+	}
+	return out
+}
+
+// LayerMaxIR returns the maximum IR drop over one layer's nodes.
+func (m *Model) LayerMaxIR(ir []float64, l *Layer) float64 {
+	var mx float64
+	for n := l.Offset; n < l.Offset+l.Grid.N(); n++ {
+		if ir[n] > mx {
+			mx = ir[n]
+		}
+	}
+	return mx
+}
+
+// DieMaxIR returns the maximum IR drop over all layers of DRAM die d.
+func (m *Model) DieMaxIR(ir []float64, d int) float64 {
+	var mx float64
+	for _, l := range m.Layers {
+		if l.Die != d {
+			continue
+		}
+		if v := m.LayerMaxIR(ir, l); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

@@ -1,0 +1,208 @@
+package rmesh
+
+import (
+	"strings"
+	"testing"
+
+	"pdn3d/internal/pdn"
+)
+
+func countLinks(m *Model, k LinkKind) int {
+	n := 0
+	for _, l := range m.Links {
+		if l.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestF2BTopology(t *testing.T) {
+	spec := offChipSpec(t)
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three F2B interfaces x 33 TSVs.
+	if got := countLinks(m, LinkTSV); got != 3*33 {
+		t.Errorf("TSV links = %d, want 99", got)
+	}
+	if got := countLinks(m, LinkB2B); got != 0 {
+		t.Errorf("B2B links = %d in an F2B stack", got)
+	}
+	if got := countLinks(m, LinkLanding); got != 33 {
+		t.Errorf("landing links = %d, want 33", got)
+	}
+}
+
+func TestF2FTopology(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.Bonding = pdn.F2F
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One B2B interface between the two pairs.
+	if got := countLinks(m, LinkB2B); got != 33 {
+		t.Errorf("B2B links = %d, want 33", got)
+	}
+	if got := countLinks(m, LinkTSV); got != 0 {
+		t.Errorf("TSV links = %d, want 0 (pairs use F2F carpets)", got)
+	}
+}
+
+func TestRDLInterfaceTopology(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.RDL = pdn.RDLInterface
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Layer("rdl/if"); !ok {
+		t.Fatal("interface RDL layer missing")
+	}
+	// RDL links: one per TSV site down to the bottom die.
+	if got := countLinks(m, LinkRDL); got != 33 {
+		t.Errorf("RDL links = %d, want 33", got)
+	}
+	// Landings tie into the RDL, not the bottom die.
+	rdl, _ := m.Layer("rdl/if")
+	for _, tie := range m.Ties {
+		if !rdl.Contains(tie.Node) {
+			t.Fatalf("tie node %d outside the RDL layer", tie.Node)
+		}
+	}
+}
+
+func TestRDLAllTopology(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.RDL = pdn.RDLAll
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdlLayers := 0
+	for _, l := range m.Layers {
+		if strings.HasSuffix(l.Key, "/RDL") {
+			rdlLayers++
+		}
+	}
+	if rdlLayers != 4 {
+		t.Errorf("backside RDL layers = %d, want one per die", rdlLayers)
+	}
+	// Each of the 3 interfaces splits into TSV (down) + RDL (up) legs.
+	if got := countLinks(m, LinkTSV); got != 3*33 {
+		t.Errorf("TSV legs = %d, want 99", got)
+	}
+	if got := countLinks(m, LinkRDL); got != 3*33 {
+		t.Errorf("RDL legs = %d, want 99", got)
+	}
+}
+
+func TestWireBondTopology(t *testing.T) {
+	spec := offChipSpec(t)
+	spec.WireBond = true
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.NumDRAM * spec.EffWiresPerDie()
+	if got := countLinks(m, LinkWire); got != want {
+		t.Errorf("wire ties = %d, want %d", got, want)
+	}
+}
+
+func TestDedicatedTSVDecouplesLogic(t *testing.T) {
+	spec := onChipSpec(t)
+	spec.DedicatedTSV = true
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With dedicated TSVs there must be no branch between the logic
+	// layers and the DRAM stack: every recorded landing link goes to the
+	// supply (N2 < 0).
+	logicEnd := 0
+	for _, l := range m.Layers {
+		if l.Die == DieLogic {
+			if end := l.Offset + l.Grid.N(); end > logicEnd {
+				logicEnd = end
+			}
+		}
+	}
+	if logicEnd == 0 {
+		t.Fatal("no logic layers")
+	}
+	for _, l := range m.Links {
+		if l.Kind != LinkLanding {
+			continue
+		}
+		if l.N2 >= 0 {
+			t.Fatalf("dedicated design has a landing branch into node %d (expected supply ties only)", l.N2)
+		}
+		if l.N1 < logicEnd {
+			t.Fatalf("dedicated landing attaches inside the logic mesh (node %d)", l.N1)
+		}
+	}
+}
+
+func TestOnChipLandingBridgesLogicAndDRAM(t *testing.T) {
+	spec := onChipSpec(t)
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicTop := m.logicTopLayer()
+	if logicTop == nil {
+		t.Fatal("no logic top layer")
+	}
+	bridges := 0
+	for _, l := range m.Links {
+		if l.Kind == LinkLanding && l.N2 >= 0 && logicTop.Contains(l.N1) {
+			bridges++
+		}
+	}
+	if bridges != spec.TSVCount {
+		t.Errorf("logic-to-DRAM landing bridges = %d, want %d", bridges, spec.TSVCount)
+	}
+}
+
+func TestAlignedRemovesDetour(t *testing.T) {
+	mis := onChipSpec(t)
+	al := onChipSpec(t)
+	al.AlignTSV = true
+	mm, err := Build(mis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := Build(al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aligned landings have strictly higher conductance (no detour term).
+	var gMis, gAl float64
+	for _, l := range mm.Links {
+		if l.Kind == LinkLanding {
+			gMis += l.G
+		}
+	}
+	for _, l := range ma.Links {
+		if l.Kind == LinkLanding {
+			gAl += l.G
+		}
+	}
+	if gAl <= gMis {
+		t.Errorf("aligned landing conductance %.3f S should exceed misaligned %.3f S", gAl, gMis)
+	}
+}
+
+func TestLinkKindStrings(t *testing.T) {
+	for _, k := range []LinkKind{LinkTSV, LinkB2B, LinkLanding, LinkWire, LinkRDL} {
+		if k.String() == "link" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if LinkKind(99).String() != "link" {
+		t.Error("unknown kind should fall back to 'link'")
+	}
+}

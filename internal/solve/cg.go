@@ -1,0 +1,127 @@
+// Package solve provides the linear solvers behind the R-Mesh IR-drop
+// engine: a Jacobi-preconditioned conjugate-gradient solver for the large
+// sparse SPD conductance systems (the production path, standing in for the
+// paper's HSPICE runs), and a dense Cholesky factorization used as the
+// golden reference on small systems (standing in for Cadence EPS in the
+// Figure 4 style validation).
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pdn3d/internal/sparse"
+)
+
+// CGOptions tunes the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual target ‖r‖/‖b‖. Zero selects 1e-10.
+	Tol float64
+	// MaxIter caps the iteration count. Zero selects 10·n.
+	MaxIter int
+}
+
+// CGStats reports how a CG solve went.
+type CGStats struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrNotConverged is wrapped in the error returned when CG exhausts its
+// iteration budget above tolerance.
+var ErrNotConverged = errors.New("solve: CG did not converge")
+
+// CG solves A·x = b for SPD A with Jacobi (diagonal) preconditioning and
+// returns the solution with convergence statistics. A zero right-hand side
+// short-circuits to the zero vector.
+func CG(a *sparse.CSR, b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, CGStats{}, fmt.Errorf("solve: rhs length %d != matrix dim %d", len(b), n)
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	normB := norm2(b)
+	x := make([]float64, n)
+	if normB == 0 {
+		return x, CGStats{Converged: true}, nil
+	}
+
+	// Jacobi preconditioner M = diag(A).
+	invD := a.Diag()
+	for i, d := range invD {
+		if d <= 0 {
+			return nil, CGStats{}, fmt.Errorf("solve: non-positive diagonal %g at row %d (matrix not SPD)", d, i)
+		}
+		invD[i] = 1 / d
+	}
+
+	r := make([]float64, n)
+	copy(r, b) // x = 0 so r = b
+	z := make([]float64, n)
+	hadamard(z, invD, r)
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+
+	rz := dot(r, z)
+	stats := CGStats{}
+	for k := 0; k < maxIter; k++ {
+		a.MulVec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return nil, stats, fmt.Errorf("solve: p'Ap = %g <= 0 at iteration %d (matrix not SPD)", pap, k)
+		}
+		alpha := rz / pap
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		stats.Iterations = k + 1
+		stats.Residual = norm2(r) / normB
+		if stats.Residual <= tol {
+			stats.Converged = true
+			return x, stats, nil
+		}
+		hadamard(z, invD, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, stats, fmt.Errorf("%w after %d iterations (residual %.3e, tol %.3e)",
+		ErrNotConverged, stats.Iterations, stats.Residual, tol)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// axpy computes y += alpha*x in place.
+func axpy(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// hadamard computes z = d .* r elementwise.
+func hadamard(z, d, r []float64) {
+	for i := range z {
+		z[i] = d[i] * r[i]
+	}
+}

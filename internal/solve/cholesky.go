@@ -1,0 +1,77 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+
+	"pdn3d/internal/sparse"
+)
+
+// Cholesky is a dense lower-triangular Cholesky factorization A = L·Lᵀ.
+// It is the exact reference solver used to validate the CG path (Figure 4
+// style R-Mesh vs. golden comparison); its O(n³) cost restricts it to small
+// meshes.
+type Cholesky struct {
+	n int
+	l [][]float64 // lower triangle, row i holds entries 0..i
+}
+
+// NewCholesky factorizes the SPD matrix A given in CSR form.
+func NewCholesky(a *sparse.CSR) (*Cholesky, error) {
+	n := a.N
+	l := make([][]float64, n)
+	dense := a.Dense()
+	for i := 0; i < n; i++ {
+		l[i] = make([]float64, i+1)
+		for j := 0; j <= i; j++ {
+			s := dense[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("solve: Cholesky pivot %g <= 0 at row %d (matrix not SPD)", s, i)
+				}
+				l[i][j] = math.Sqrt(s)
+			} else {
+				l[i][j] = s / l[j][j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x with A·x = b using the precomputed factorization.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("solve: rhs length %d != matrix dim %d", len(b), c.n)
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l[i][k] * y[k]
+		}
+		y[i] = s / c.l[i][i]
+	}
+	// Backward substitution Lᵀ·x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l[k][i] * x[k]
+		}
+		x[i] = s / c.l[i][i]
+	}
+	return x, nil
+}
+
+// DenseSolve is a one-shot helper: factorize and solve.
+func DenseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
+	c, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return c.Solve(b)
+}

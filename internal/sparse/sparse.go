@@ -1,0 +1,185 @@
+// Package sparse implements the symmetric sparse matrices used by the
+// R-Mesh nodal analysis. Conductance matrices are assembled stamp-by-stamp
+// into a coordinate builder and compressed to CSR for the iterative solver.
+//
+// The matrices produced by nodal analysis of a resistor network with at
+// least one tie to the (folded) supply node are symmetric positive
+// definite, which the conjugate-gradient solver in internal/solve relies on.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates symmetric stamps in coordinate form. Only one triangle
+// needs to be stamped for off-diagonal entries if the caller uses
+// AddConductance; raw Add calls stamp exactly what they are given.
+type Builder struct {
+	n    int
+	rows []int32
+	cols []int32
+	vals []float64
+}
+
+// NewBuilder returns a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// N returns the matrix dimension.
+func (b *Builder) N() int { return b.n }
+
+// Add accumulates v into entry (i, j). Duplicate coordinates are summed
+// during compression.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+	b.vals = append(b.vals, v)
+}
+
+// AddConductance stamps a two-terminal conductance g between nodes i and j:
+// +g on both diagonals, -g on both off-diagonals. It is the fundamental
+// operation of nodal analysis.
+func (b *Builder) AddConductance(i, j int, g float64) {
+	b.Add(i, i, g)
+	b.Add(j, j, g)
+	b.Add(i, j, -g)
+	b.Add(j, i, -g)
+}
+
+// AddToGround stamps a conductance g from node i to the folded reference
+// node (only the diagonal entry appears in the reduced system).
+func (b *Builder) AddToGround(i int, g float64) {
+	b.Add(i, i, g)
+}
+
+// NNZStamps returns the number of raw stamps accumulated so far (before
+// duplicate merging). Useful for capacity diagnostics.
+func (b *Builder) NNZStamps() int { return len(b.vals) }
+
+// Compress merges duplicates and produces an immutable CSR matrix.
+func (b *Builder) Compress() *CSR {
+	type key struct{ r, c int32 }
+	// Sort triplets by (row, col) and merge adjacent duplicates.
+	idx := make([]int, len(b.vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		ia, ic := idx[a], idx[c]
+		if b.rows[ia] != b.rows[ic] {
+			return b.rows[ia] < b.rows[ic]
+		}
+		return b.cols[ia] < b.cols[ic]
+	})
+
+	m := &CSR{
+		N:      b.n,
+		RowPtr: make([]int32, b.n+1),
+	}
+	var prev key
+	first := true
+	for _, t := range idx {
+		k := key{b.rows[t], b.cols[t]}
+		if !first && k == prev {
+			m.Val[len(m.Val)-1] += b.vals[t]
+			continue
+		}
+		first = false
+		prev = k
+		m.Col = append(m.Col, k.c)
+		m.Val = append(m.Val, b.vals[t])
+		m.RowPtr[k.r+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A·x. y must have length N and is overwritten.
+func (m *CSR) MulVec(y, x []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: n=%d len(x)=%d len(y)=%d", m.N, len(x), len(y)))
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.Col[p]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal into a new slice. Missing diagonal entries are
+// reported as zero.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int(m.Col[p]) == i {
+				d[i] = m.Val[p]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// At returns entry (i, j), zero when not stored. It is O(row nnz) and meant
+// for tests and small inspections, not for inner loops.
+func (m *CSR) At(i, j int) float64 {
+	for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+		if int(m.Col[p]) == j {
+			return m.Val[p]
+		}
+	}
+	return 0
+}
+
+// Dense expands the matrix to a dense row-major [][]float64; for tests and
+// for the dense validation solver on small systems.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.N)
+	buf := make([]float64, m.N*m.N)
+	for i := range out {
+		out[i] = buf[i*m.N : (i+1)*m.N]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out[i][m.Col[p]] = m.Val[p]
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether the matrix is numerically symmetric within
+// tol, comparing every stored entry against its transpose partner.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := int(m.Col[p])
+			d := m.Val[p] - m.At(j, i)
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderCompressMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(1, 2, 5)
+	b.Add(1, 2, -1)
+	m := b.Compress()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %g, want 3", got)
+	}
+	if got := m.At(1, 2); got != 4 {
+		t.Errorf("At(1,2) = %g, want 4", got)
+	}
+	if got := m.At(2, 1); got != 0 {
+		t.Errorf("At(2,1) = %g, want 0 (raw Add does not symmetrize)", got)
+	}
+}
+
+func TestAddConductanceStamp(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddConductance(0, 1, 2.5)
+	m := b.Compress()
+	want := [][]float64{{2.5, -2.5}, {-2.5, 2.5}}
+	d := m.Dense()
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Errorf("entry (%d,%d) = %g, want %g", i, j, d[i][j], want[i][j])
+			}
+		}
+	}
+	if !m.IsSymmetric(0) {
+		t.Error("conductance stamp must be symmetric")
+	}
+}
+
+func TestAddToGroundOnlyDiagonal(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddToGround(1, 4)
+	m := b.Compress()
+	if m.NNZ() != 1 || m.At(1, 1) != 4 {
+		t.Errorf("ground stamp wrong: nnz=%d At(1,1)=%g", m.NNZ(), m.At(1, 1))
+	}
+}
+
+func TestZeroValueStampsSkipped(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 1, 0)
+	if b.NNZStamps() != 0 {
+		t.Error("zero stamp should be dropped")
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on out-of-range Add")
+		}
+	}()
+	NewBuilder(2).Add(0, 2, 1)
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		b := NewBuilder(n)
+		for k := 0; k < n*3; k++ {
+			b.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		m := b.Compress()
+		d := m.Dense()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		m.MulVec(got, x)
+		for i := 0; i < n; i++ {
+			var want float64
+			for j := 0; j < n; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-10 {
+				t.Fatalf("trial %d: y[%d] = %g, want %g", trial, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMulVecDimensionPanics(t *testing.T) {
+	m := NewBuilder(3).Compress()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on dimension mismatch")
+		}
+	}()
+	m.MulVec(make([]float64, 2), make([]float64, 3))
+}
+
+func TestDiag(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(2, 2, 7)
+	b.Add(0, 1, 9)
+	d := b.Compress().Diag()
+	want := []float64{2, 0, 7}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("diag[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+// Property: a matrix assembled purely out of AddConductance/AddToGround
+// stamps is symmetric and weakly diagonally dominant with non-negative
+// diagonal — the structure CG relies on.
+func TestConductanceAssemblyProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%20
+		b := NewBuilder(n)
+		for k := 0; k < 4*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				b.AddToGround(i, rng.Float64()+0.01)
+			} else {
+				b.AddConductance(i, j, rng.Float64()+0.01)
+			}
+		}
+		m := b.Compress()
+		if !m.IsSymmetric(1e-12) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var off, diag float64
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				if int(m.Col[p]) == i {
+					diag = m.Val[p]
+				} else {
+					off += math.Abs(m.Val[p])
+				}
+			}
+			if diag < off-1e-12 || diag < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowPtrConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder(30)
+	for k := 0; k < 500; k++ {
+		b.AddConductance(rng.Intn(30), rng.Intn(30), rng.Float64())
+	}
+	m := b.Compress()
+	if int(m.RowPtr[m.N]) != m.NNZ() {
+		t.Fatalf("RowPtr[N] = %d, want NNZ %d", m.RowPtr[m.N], m.NNZ())
+	}
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			t.Fatalf("RowPtr not monotone at %d", i)
+		}
+		// Columns sorted within row.
+		for p := m.RowPtr[i] + 1; p < m.RowPtr[i+1]; p++ {
+			if m.Col[p-1] >= m.Col[p] {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+		}
+	}
+}

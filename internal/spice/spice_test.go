@@ -1,0 +1,139 @@
+package spice
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pdn3d/internal/bench3d"
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/memstate"
+)
+
+func testModel(t *testing.T) (*irdrop.Analyzer, []float64) {
+	t.Helper()
+	b, err := bench3d.StackedDDR3Off()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := irdrop.SingleDie2D(b.Spec.Clone())
+	spec.MeshPitch = 1.0 // tiny deck
+	a, err := irdrop.New(spec, b.DRAMPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := memstate.State{Dies: [][]int{{7, 5}}}
+	rhs, err := a.LoadedRHS(st, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, rhs
+}
+
+func TestNetlistStructure(t *testing.T) {
+	a, rhs := testModel(t)
+	var sb strings.Builder
+	if err := WriteNetlist(&sb, a.Model, rhs, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	deck := sb.String()
+	if !strings.HasPrefix(deck, "* unit test") {
+		t.Error("missing title card")
+	}
+	for _, want := range []string{"VDD vdd 0 DC 1.5", ".op", ".end"} {
+		if !strings.Contains(deck, want) {
+			t.Errorf("deck missing %q", want)
+		}
+	}
+	var nR, nT, nI int
+	sc := bufio.NewScanner(strings.NewReader(deck))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "RT"):
+			nT++
+		case strings.HasPrefix(line, "R"):
+			nR++
+		case strings.HasPrefix(line, "I"):
+			nI++
+		}
+	}
+	if nT != len(a.Model.Ties) {
+		t.Errorf("tie resistors = %d, want %d", nT, len(a.Model.Ties))
+	}
+	if nR == 0 || nI == 0 {
+		t.Errorf("deck has %d resistors and %d current sources; want both > 0", nR, nI)
+	}
+}
+
+// TestNetlistIsElectricallyFaithful re-parses the deck into a nodal system
+// and checks that the total load current and tie conductance match the
+// model — the invariant an external HSPICE run would rely on.
+func TestNetlistIsElectricallyFaithful(t *testing.T) {
+	a, rhs := testModel(t)
+	var sb strings.Builder
+	if err := WriteNetlist(&sb, a.Model, rhs, "check"); err != nil {
+		t.Fatal(err)
+	}
+	var loadSum, tieG float64
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(f[0], "RT"):
+			r, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				t.Fatalf("bad tie value %q", f[3])
+			}
+			tieG += 1 / r
+		case strings.HasPrefix(f[0], "I") && f[0] != "I":
+			v, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				t.Fatalf("bad current %q in %v", f[4], f)
+			}
+			loadSum += v
+		}
+	}
+	base := a.Model.BaseRHS()
+	var wantLoad float64
+	for i := range rhs {
+		wantLoad += base[i] - rhs[i]
+	}
+	if math.Abs(loadSum-wantLoad) > 1e-9 {
+		t.Errorf("deck load current %.9f A, want %.9f A", loadSum, wantLoad)
+	}
+	var wantG float64
+	for _, tie := range a.Model.Ties {
+		wantG += tie.G
+	}
+	if math.Abs(tieG-wantG)/wantG > 1e-6 {
+		t.Errorf("deck tie conductance %.6f S, want %.6f S", tieG, wantG)
+	}
+}
+
+func TestNetlistRejectsBadRHS(t *testing.T) {
+	a, _ := testModel(t)
+	var sb strings.Builder
+	if err := WriteNetlist(&sb, a.Model, make([]float64, 3), "bad"); err == nil {
+		t.Error("short rhs: want error")
+	}
+}
+
+func TestNetlistDeterministic(t *testing.T) {
+	a, rhs := testModel(t)
+	var s1, s2 strings.Builder
+	if err := WriteNetlist(&s1, a.Model, rhs, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNetlist(&s2, a.Model, rhs, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Error("netlist export must be deterministic")
+	}
+}

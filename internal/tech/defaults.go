@@ -1,0 +1,48 @@
+package tech
+
+// DRAM20 returns the 20nm-class DRAM technology used by all DRAM dies in
+// the four benchmarks. Traditional DRAM uses three metal layers (paper
+// §4.2): M1 for signals (never PDN), M2 for mixed signal/power, M3 for
+// power, so only M2/M3 appear in the PDN stack. vdd selects the supply
+// (1.5 V stacked DDR3, 1.2 V Wide I/O and HMC).
+func DRAM20(vdd float64) *Technology {
+	return &Technology{
+		Name: "dram20",
+		Layers: []MetalLayer{
+			{Name: "M2", SheetR: 0.1785, Dir: Horizontal, MaxUsage: 0.25},
+			{Name: "M3", SheetR: 0.1125, Dir: Vertical, MaxUsage: 0.50},
+		},
+		ViaR:         2e-3,
+		PGTSV:        TSV{R: 50e-3, KOZ: 0.010, Pitch: 0.040},
+		DedicatedTSV: TSV{R: 25e-3, KOZ: 0.015, Pitch: 0.060},
+		C4:           Bump{R: 10e-3, Pitch: 0.20},
+		MicroBump:    Bump{R: 15e-3, Pitch: 0.050},
+		F2FVia:       Via{R: 2e-3},
+		RDL:          MetalLayer{Name: "RDL", SheetR: 0.150, Dir: OmniDirectional, MaxUsage: 0.70},
+		Wire:         BondWire{RPerMM: 0.120, RContact: 0.080, Loop: 1.0},
+		VDD:          vdd,
+	}
+}
+
+// Logic28 returns the 28nm logic technology of the OpenSPARC-T2-like host
+// die (and of the HMC controller die). The PDN is modelled with an M1-like
+// local layer and an M6-like thick global layer; vdd must match the DRAM
+// supply when the two PDNs are coupled (paper §3.1 assumes equal supplies).
+func Logic28(vdd float64) *Technology {
+	return &Technology{
+		Name: "logic28",
+		Layers: []MetalLayer{
+			{Name: "M1", SheetR: 1.800, Dir: Horizontal, MaxUsage: 0.30},
+			{Name: "M6", SheetR: 0.040, Dir: Vertical, MaxUsage: 0.60},
+		},
+		ViaR:         4.2,
+		PGTSV:        TSV{R: 50e-3, KOZ: 0.010, Pitch: 0.040},
+		DedicatedTSV: TSV{R: 25e-3, KOZ: 0.015, Pitch: 0.060},
+		C4:           Bump{R: 20e-3, Pitch: 0.60},
+		MicroBump:    Bump{R: 15e-3, Pitch: 0.050},
+		F2FVia:       Via{R: 2e-3},
+		RDL:          MetalLayer{Name: "RDL", SheetR: 0.150, Dir: OmniDirectional, MaxUsage: 0.70},
+		Wire:         BondWire{RPerMM: 0.120, RContact: 0.080, Loop: 1.0},
+		VDD:          vdd,
+	}
+}

@@ -1,0 +1,183 @@
+// Package tech describes the process and packaging technology parameters
+// that the PDN layout generator and the R-Mesh builder consume: metal layer
+// stacks with sheet resistances and preferred routing directions, and the
+// electrical models of the vertical/packaging elements (PG TSVs, C4 bumps,
+// F2F via carpets, RDL, backside bond wires).
+//
+// Values are representative of a 20nm-class DRAM process with aluminium
+// interconnect and a 28nm logic process with copper interconnect, globally
+// calibrated (see internal/bench3d) so that the off-chip stacked-DDR3
+// baseline design reproduces the paper's ~30 mV maximum IR drop.
+package tech
+
+import "fmt"
+
+// Direction is the preferred routing direction of a metal layer. The R-Mesh
+// models a layer's PDN stripes as running in the preferred direction, with
+// the orthogonal direction provided by the neighbouring layer through vias;
+// a small orthogonal conductance accounts for ring/strap stitching.
+type Direction uint8
+
+const (
+	// Horizontal layers route power stripes along the x axis.
+	Horizontal Direction = iota
+	// Vertical layers route power stripes along the y axis.
+	Vertical
+	// OmniDirectional layers (the RDL) allow arbitrary-direction routing,
+	// including the paper's non-Manhattan RDL routes; the mesh gets full
+	// conductance both ways plus diagonal branches.
+	OmniDirectional
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Horizontal:
+		return "horizontal"
+	case Vertical:
+		return "vertical"
+	case OmniDirectional:
+		return "omni"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// MetalLayer is one routing layer available for PDN use.
+type MetalLayer struct {
+	// Name is the layer label (M1, M2, M3, M6, RDL...).
+	Name string
+	// SheetR is the sheet resistance in Ω/sq of solid metal on this layer.
+	SheetR float64
+	// Dir is the preferred routing direction.
+	Dir Direction
+	// MaxUsage caps the fraction of the layer area that may be given to
+	// the VDD PDN (the rest is signal routing and the ground net).
+	MaxUsage float64
+}
+
+// Via models the layer-to-layer via stack between two adjacent PDN layers
+// at one mesh node.
+type Via struct {
+	// R is the effective resistance in Ω of the via array dropped at one
+	// grid node (many parallel cuts).
+	R float64
+}
+
+// TSV models a power/ground through-silicon via.
+type TSV struct {
+	// R is the per-TSV resistance in Ω, including landing pads.
+	R float64
+	// KOZ is the keep-out-zone halfwidth in mm around the TSV; used by the
+	// cost model and by the floorplan legality checks.
+	KOZ float64
+	// Pitch is the minimum TSV-to-TSV pitch in mm.
+	Pitch float64
+}
+
+// Bump models a C4 (package) or micro-bump (die-to-die) connection.
+type Bump struct {
+	// R is the per-bump resistance in Ω.
+	R float64
+	// Pitch is the bump array pitch in mm.
+	Pitch float64
+}
+
+// BondWire models one backside bond wire from a die-edge pad down to the
+// package VDD plane.
+type BondWire struct {
+	// RPerMM is the wire resistance per millimetre of length in Ω/mm.
+	RPerMM float64
+	// RContact is the fixed pad/stitch contact resistance in Ω.
+	RContact float64
+	// Loop is the extra wire length in mm beyond the vertical drop.
+	Loop float64
+}
+
+// R returns the total resistance of a bond wire spanning length mm.
+func (w BondWire) R(length float64) float64 {
+	return w.RContact + w.RPerMM*(length+w.Loop)
+}
+
+// Technology aggregates everything the builders need for one die class.
+type Technology struct {
+	// Name identifies the process ("dram20", "logic28").
+	Name string
+	// Layers is the PDN-usable metal stack, bottom-most first.
+	Layers []MetalLayer
+	// ViaR is the node via-stack resistance between adjacent PDN layers.
+	ViaR float64
+	// PGTSV is the standard power/ground TSV (via-middle).
+	PGTSV TSV
+	// DedicatedTSV is the via-last dedicated power TSV, lower resistance.
+	DedicatedTSV TSV
+	// C4 is the package-attach bump.
+	C4 Bump
+	// MicroBump is the die-to-die bump used in B2B/F2B interfaces.
+	MicroBump Bump
+	// F2FVia is the face-to-face bond via; placed as a carpet, so the
+	// per-node resistance is tiny.
+	F2FVia Via
+	// RDL is the backside redistribution layer, if the process offers one.
+	RDL MetalLayer
+	// Wire is the backside bond-wire model.
+	Wire BondWire
+	// VDD is the nominal supply voltage in V.
+	VDD float64
+}
+
+// Layer returns the metal layer with the given name.
+func (t *Technology) Layer(name string) (MetalLayer, error) {
+	for _, l := range t.Layers {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return MetalLayer{}, fmt.Errorf("tech %s: no PDN layer %q", t.Name, name)
+}
+
+// Validate checks internal consistency of the technology description.
+func (t *Technology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("tech: empty name")
+	}
+	if t.VDD <= 0 {
+		return fmt.Errorf("tech %s: VDD %g must be positive", t.Name, t.VDD)
+	}
+	if len(t.Layers) == 0 {
+		return fmt.Errorf("tech %s: no PDN layers", t.Name)
+	}
+	seen := map[string]bool{}
+	for _, l := range t.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("tech %s: unnamed layer", t.Name)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("tech %s: duplicate layer %q", t.Name, l.Name)
+		}
+		seen[l.Name] = true
+		if l.SheetR <= 0 {
+			return fmt.Errorf("tech %s: layer %s sheet resistance %g must be positive", t.Name, l.Name, l.SheetR)
+		}
+		if l.MaxUsage <= 0 || l.MaxUsage > 1 {
+			return fmt.Errorf("tech %s: layer %s max usage %g out of (0,1]", t.Name, l.Name, l.MaxUsage)
+		}
+	}
+	if t.ViaR <= 0 {
+		return fmt.Errorf("tech %s: via resistance must be positive", t.Name)
+	}
+	for _, e := range []struct {
+		what string
+		r    float64
+	}{
+		{"PG TSV", t.PGTSV.R},
+		{"dedicated TSV", t.DedicatedTSV.R},
+		{"C4", t.C4.R},
+		{"micro bump", t.MicroBump.R},
+		{"F2F via", t.F2FVia.R},
+	} {
+		if e.r <= 0 {
+			return fmt.Errorf("tech %s: %s resistance must be positive", t.Name, e.what)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	for _, tc := range []*Technology{DRAM20(1.5), DRAM20(1.2), Logic28(1.5)} {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", tc.Name, err)
+		}
+	}
+}
+
+func TestLayerLookup(t *testing.T) {
+	d := DRAM20(1.5)
+	m3, err := d.Layer("M3")
+	if err != nil {
+		t.Fatalf("Layer(M3): %v", err)
+	}
+	if m3.Dir != Vertical {
+		t.Errorf("M3 direction = %v, want vertical", m3.Dir)
+	}
+	if _, err := d.Layer("M9"); err == nil {
+		t.Error("Layer(M9): want error")
+	}
+}
+
+func TestValidateCatchesBadTech(t *testing.T) {
+	mk := func(mut func(*Technology)) *Technology {
+		tc := DRAM20(1.5)
+		mut(tc)
+		return tc
+	}
+	cases := []struct {
+		name string
+		tc   *Technology
+		want string
+	}{
+		{"empty name", mk(func(t *Technology) { t.Name = "" }), "empty name"},
+		{"zero vdd", mk(func(t *Technology) { t.VDD = 0 }), "VDD"},
+		{"no layers", mk(func(t *Technology) { t.Layers = nil }), "no PDN layers"},
+		{"dup layer", mk(func(t *Technology) { t.Layers = append(t.Layers, t.Layers[0]) }), "duplicate"},
+		{"bad sheetR", mk(func(t *Technology) { t.Layers[0].SheetR = -1 }), "sheet resistance"},
+		{"bad usage", mk(func(t *Technology) { t.Layers[0].MaxUsage = 1.5 }), "max usage"},
+		{"bad via", mk(func(t *Technology) { t.ViaR = 0 }), "via resistance"},
+		{"bad tsv", mk(func(t *Technology) { t.PGTSV.R = 0 }), "PG TSV"},
+		{"bad c4", mk(func(t *Technology) { t.C4.R = 0 }), "C4"},
+	}
+	for _, c := range cases {
+		err := c.tc.Validate()
+		if err == nil {
+			t.Errorf("%s: want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBondWireResistanceGrowsWithLength(t *testing.T) {
+	w := DRAM20(1.5).Wire
+	short, long := w.R(0.5), w.R(3.0)
+	if short <= w.RContact {
+		t.Errorf("short wire R = %g, must exceed contact R %g", short, w.RContact)
+	}
+	if long <= short {
+		t.Errorf("R(3.0)=%g should exceed R(0.5)=%g", long, short)
+	}
+}
+
+func TestDedicatedTSVBeatsPGTSV(t *testing.T) {
+	d := DRAM20(1.5)
+	if d.DedicatedTSV.R >= d.PGTSV.R {
+		t.Errorf("dedicated (via-last) TSV R %g should be below PG TSV R %g (paper §3.1)",
+			d.DedicatedTSV.R, d.PGTSV.R)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Horizontal.String() != "horizontal" || Vertical.String() != "vertical" ||
+		OmniDirectional.String() != "omni" {
+		t.Error("Direction.String mismatch")
+	}
+	if got := Direction(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown direction string = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"pdn3d/internal/bench3d"
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/memstate"
+)
+
+func setup(t testing.TB, wirebond bool) (*irdrop.Analyzer, []float64, []float64) {
+	t.Helper()
+	b, err := bench3d.StackedDDR3Off()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := b.Spec.Clone()
+	spec.MeshPitch = 0.6
+	spec.WireBond = wirebond
+	a, err := irdrop.New(spec, b.DRAMPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleState := memstate.State{Dies: make([][]int, 4)}
+	idle, err := a.LoadedRHS(idleState, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := a.LoadedRHS(mustState(t), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, idle, active
+}
+
+func mustState(t testing.TB) memstate.State {
+	t.Helper()
+	s, err := memstate.FromCounts([]int{0, 0, 0, 2}, memstate.WorstCaseEdge(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTransientConvergesToDC(t *testing.T) {
+	a, idle, active := setup(t, false)
+	sim, err := New(a.Model, DefaultConfig(), idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long after the step, the transient must settle at the DC solution.
+	curve, err := sim.Run(active, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := a.Analyze(mustState(t), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := curve[len(curve)-1]
+	if math.Abs(final-dc.MaxIR) > dc.MaxIR*0.02 {
+		t.Errorf("settled droop %.3f mV, DC %.3f mV", final*1000, dc.MaxIR*1000)
+	}
+	// Monotone rise: an RC network stepped to a larger load cannot
+	// overshoot (no inductance).
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-6 {
+			t.Fatalf("droop fell at step %d: %.4f -> %.4f mV", i, curve[i-1]*1000, curve[i]*1000)
+		}
+	}
+	if curve[len(curve)-1] > dc.MaxIR*1.02 {
+		t.Error("droop overshot the DC value in an RC-only network")
+	}
+}
+
+func TestOnDieCapSlowsDroop(t *testing.T) {
+	a, idle, active := setup(t, false)
+	fast := DefaultConfig()
+	fast.DieCapFPerMM2 = 0.2e-9
+	slow := DefaultConfig()
+	slow.DieCapFPerMM2 = 8e-9
+	simF, err := New(a.Model, fast, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simS, err := New(a.Model, slow, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := simF.Run(active, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := simS.Run(active, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[3] >= cf[3] {
+		t.Errorf("40x on-die cap should slow the droop: %.3f vs %.3f mV after 4 steps",
+			cs[3]*1000, cf[3]*1000)
+	}
+}
+
+func TestWireDecapsReduceEarlyDroop(t *testing.T) {
+	// Wire-bonded design with off-chip decaps vs the same design without:
+	// the early droop of a short activation burst shrinks (the paper's AC
+	// claim); the DC endpoint is unchanged by the capacitors.
+	a, idle, active := setup(t, true)
+	cfgNo := DefaultConfig()
+	simNo, err := New(a.Model, cfgNo, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgDecap := DefaultConfig()
+	cfgDecap.Decaps = WireDecaps(a.Model, 100e-9, 0.05) // 100 nF behind each wire
+	if len(cfgDecap.Decaps) == 0 {
+		t.Fatal("wire-bonded model produced no wire decap sites")
+	}
+	simDe, err := New(a.Model, cfgDecap, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNo, err := simNo.Run(active, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cDe, err := simDe.Run(active, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cDe[10] >= cNo[10] {
+		t.Errorf("decaps should reduce the early droop: %.3f vs %.3f mV",
+			cDe[10]*1000, cNo[10]*1000)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	a, idle, _ := setup(t, false)
+	bad := DefaultConfig()
+	bad.Dt = 0
+	if _, err := New(a.Model, bad, idle); err == nil {
+		t.Error("zero dt: want error")
+	}
+	cfg := DefaultConfig()
+	if _, err := New(a.Model, cfg, idle[:3]); err == nil {
+		t.Error("short rhs: want error")
+	}
+	cfg.Decaps = []Decap{{Node: -1, C: 1e-9}}
+	if _, err := New(a.Model, cfg, idle); err == nil {
+		t.Error("bad decap node: want error")
+	}
+	cfg.Decaps = []Decap{{Node: 0, C: 0}}
+	if _, err := New(a.Model, cfg, idle); err == nil {
+		t.Error("zero decap C: want error")
+	}
+	sim, err := New(a.Model, DefaultConfig(), idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(idle, 0); err == nil {
+		t.Error("zero steps: want error")
+	}
+	if err := sim.Step(idle[:2]); err == nil {
+		t.Error("short step rhs: want error")
+	}
+}
+
+func TestInitialStateIsIdleDC(t *testing.T) {
+	a, idle, _ := setup(t, false)
+	sim, err := New(a.Model, DefaultConfig(), idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxIR before any step equals the idle DC drop.
+	idleState := memstate.State{Dies: make([][]int, 4)}
+	dc, err := a.Analyze(idleState, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.MaxIR()-dc.MaxIR) > 1e-6 {
+		t.Errorf("initial droop %.4f mV, idle DC %.4f mV", sim.MaxIR()*1000, dc.MaxIR*1000)
+	}
+}

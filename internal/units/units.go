@@ -1,0 +1,58 @@
+// Package units defines the physical units and conversion helpers used
+// throughout the platform.
+//
+// Internal canonical units are chosen so that typical 3D-DRAM quantities
+// have convenient magnitudes and so that no conversion is needed inside the
+// numerical core:
+//
+//   - length:      millimetres (mm)
+//   - resistance:  ohms (Ω)
+//   - sheet resistance: ohms per square (Ω/sq)
+//   - power:       milliwatts (mW)
+//   - voltage:     volts (V)
+//   - current:     milliamperes (mA)  — consistent with mW / V
+//
+// With power in mW and voltage in V, current I = P/V comes out in mA, and
+// IR products (mA · Ω) come out in millivolts, which is the unit the paper
+// reports all IR-drop results in.
+package units
+
+import "fmt"
+
+// Common scale factors relative to the canonical units.
+const (
+	// Micron converts micrometres to the canonical length unit (mm).
+	Micron = 1e-3
+	// Millimetre is the canonical length unit.
+	Millimetre = 1.0
+	// MilliOhm converts milliohms to the canonical resistance unit (Ω).
+	MilliOhm = 1e-3
+	// Ohm is the canonical resistance unit.
+	Ohm = 1.0
+	// MilliWatt is the canonical power unit.
+	MilliWatt = 1.0
+	// Watt converts watts to the canonical power unit (mW).
+	Watt = 1e3
+	// Volt is the canonical voltage unit.
+	Volt = 1.0
+	// MilliVolt converts millivolts to volts.
+	MilliVolt = 1e-3
+)
+
+// MilliVolts renders a voltage drop (in V) as a millivolt string with the
+// two-decimal precision used in the paper's tables.
+func MilliVolts(v float64) string {
+	return fmt.Sprintf("%.2fmV", v/MilliVolt)
+}
+
+// ToMilliVolts converts a voltage in volts to millivolts.
+func ToMilliVolts(v float64) float64 { return v / MilliVolt }
+
+// CurrentMA returns the DC current in mA drawn by a load of p milliwatts
+// at v volts.
+func CurrentMA(p, v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return p / v
+}
