@@ -6,7 +6,8 @@
 //
 //	irsim -bench ddr3-off [-state 0-0-0-2] [-io 1.0] [-bonding F2F]
 //	      [-tsv 33] [-style E|C|D] [-wirebond] [-dedicated] [-rdl none|interface|all]
-//	      [-align] [-pitch 0.2] [-map] [-spice out.sp]
+//	      [-align] [-pitch 0.2] [-solver cg-ic0|cg-jacobi|cholesky] [-workers n]
+//	      [-map] [-spice out.sp]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
 	"pdn3d/internal/rmesh"
+	"pdn3d/internal/solve"
 	"pdn3d/internal/spice"
 )
 
@@ -40,6 +42,8 @@ func main() {
 	rdl := flag.String("rdl", "", "override RDL: none, interface, all")
 	align := flag.Bool("align", false, "align TSVs to C4 bumps (on-chip)")
 	pitch := flag.Float64("pitch", 0, "R-Mesh pitch in mm (0 = default)")
+	solver := flag.String("solver", "", "nodal solver: "+strings.Join(solve.Methods(), ", ")+" (default "+solve.DefaultMethod+")")
+	workers := flag.Int("workers", 0, "worker pool size for solver kernels (0 = GOMAXPROCS)")
 	dumpMap := flag.Bool("map", false, "print an ASCII IR map per layer")
 	spiceOut := flag.String("spice", "", "write an HSPICE-style netlist to this file")
 	svgOut := flag.String("svg", "", "write an SVG layout view (top DRAM die, IR overlay) to this file")
@@ -116,6 +120,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	a.Opts.Method = *solver
+	a.Opts.Workers = *workers
 	res, err := a.Analyze(state, *io)
 	if err != nil {
 		log.Fatal(err)

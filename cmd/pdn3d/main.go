@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pdn3d -bench ddr3-off [-alpha 0,0.3,1] [-pitch 0.2] [-samples 3] [-grid 9]
+//	      [-workers n] [-solver cg-ic0|cg-jacobi|cholesky]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/opt"
 	"pdn3d/internal/report"
+	"pdn3d/internal/solve"
 )
 
 func main() {
@@ -30,6 +32,8 @@ func main() {
 	pitch := flag.Float64("pitch", 0, "R-Mesh pitch override in mm")
 	samples := flag.Int("samples", 0, "regression samples per continuous axis (0 = 3)")
 	grid := flag.Int("grid", 0, "search grid steps per axis (0 = 9)")
+	workers := flag.Int("workers", 0, "worker pool size for sampling sweeps (0 = GOMAXPROCS)")
+	solver := flag.String("solver", "", "nodal solver: "+strings.Join(solve.Methods(), ", ")+" (default "+solve.DefaultMethod+")")
 	flag.Parse()
 
 	b, err := bench3d.ByName(*benchName)
@@ -41,13 +45,15 @@ func main() {
 		MeshPitch:         *pitch,
 		ContinuousSamples: *samples,
 		GridSteps:         *grid,
+		Workers:           *workers,
+		Solver:            *solver,
 	}
 	start := time.Now()
 	if err := o.FitModels(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fitted regression models from %d R-Mesh samples in %.1fs (worst RMSE %.4f log-mV, worst R^2 %.5f)\n",
-		o.Solves, time.Since(start).Seconds(), o.FitRMSE, o.FitR2)
+		o.SolveCount(), time.Since(start).Seconds(), o.FitRMSE, o.FitR2)
 
 	t := &report.Table{
 		Title:  fmt.Sprintf("best options for %s (IR-cost = IR^a x Cost^(1-a))", b.Name),

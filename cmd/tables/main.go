@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tables [-pitch mm] [-requests n] [-only id[,id...]] [-benchmarks names]
+//	       [-workers n] [-solver cg-ic0|cg-jacobi|cholesky]
 //
 // Experiment ids: table1 metal mounting table2 table3 table4 table5 table6
 // table7 table8 table9 fig4 fig5 fig9 regression crowding failure policyall ac. The default runs all of
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"pdn3d/internal/exp"
+	"pdn3d/internal/solve"
 )
 
 func main() {
@@ -25,9 +27,11 @@ func main() {
 	requests := flag.Int("requests", 0, "controller workload length (0 = 10000)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	benches := flag.String("benchmarks", "ddr3-off,ddr3-on,wideio,hmc", "benchmarks for table9/regression")
+	workers := flag.Int("workers", 0, "worker pool size for sweeps and solver kernels (0 = GOMAXPROCS)")
+	solver := flag.String("solver", "", "nodal solver: "+strings.Join(solve.Methods(), ", ")+" (default "+solve.DefaultMethod+")")
 	flag.Parse()
 
-	r := exp.NewRunner(exp.Config{MeshPitch: *pitch, Requests: *requests})
+	r := exp.NewRunner(exp.Config{MeshPitch: *pitch, Requests: *requests, Workers: *workers, Solver: *solver})
 	sel := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {

@@ -42,20 +42,25 @@ func (r *Runner) ACStudy() (*report.Table, error) {
 	t.Header = append(t.Header, "DC (mV)")
 
 	idleState := memstate.State{Dies: make([][]int, b.Spec.NumDRAM)}
-	for _, d := range designs {
+	type outcome struct {
+		curve []float64
+		dcMV  float64
+	}
+	results, err := sweep(r, len(designs), func(i int) (outcome, error) {
+		d := designs[i]
 		spec := r.prepare(b.Spec)
 		spec.WireBond = d.wirebond
 		a, err := r.analyzer(spec, b.DRAMPower, nil)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		idle, err := a.LoadedRHS(idleState, 0.25)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		active, err := a.LoadedRHS(mustWorstState(b.Spec.DRAM.NumBanks), 1.0)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		c := cfg
 		if d.decaps {
@@ -63,21 +68,27 @@ func (r *Runner) ACStudy() (*report.Table, error) {
 		}
 		sim, err := transient.New(a.Model, c, idle)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		curve, err := sim.Run(active, sampleSteps[len(sampleSteps)-1])
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		dc, err := a.AnalyzeCounts([]int{0, 0, 0, 2}, 1.0)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
+		return outcome{curve: curve, dcMV: dc.MaxIRmV()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range designs {
 		row := []interface{}{d.name}
 		for _, k := range sampleSteps {
-			row = append(row, fmt.Sprintf("%.2f", curve[k-1]*1000))
+			row = append(row, fmt.Sprintf("%.2f", results[i].curve[k-1]*1000))
 		}
-		row = append(row, fmt.Sprintf("%.2f", dc.MaxIRmV()))
+		row = append(row, fmt.Sprintf("%.2f", results[i].dcMV))
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

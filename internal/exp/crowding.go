@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pdn3d/internal/bench3d"
+	"pdn3d/internal/irdrop"
 	"pdn3d/internal/report"
 	"pdn3d/internal/rmesh"
 )
@@ -21,9 +22,10 @@ func (r *Runner) CrowdingStudy() (*report.Table, error) {
 		Title:  "TSV current crowding (off-chip stacked DDR3, 0-0-0-2)",
 		Header: []string{"TSV count", "branch", "total (mA)", "peak (mA)", "mean (mA)", "crowding"},
 	}
-	for _, tc := range []int{15, 33, 120, 480} {
+	tsvCounts := []int{15, 33, 120, 480}
+	allStats, err := sweep(r, len(tsvCounts), func(i int) ([]irdrop.CrowdingStats, error) {
 		spec := r.prepare(b.Spec)
-		spec.TSVCount = tc
+		spec.TSVCount = tsvCounts[i]
 		a, err := r.analyzer(spec, b.DRAMPower, nil)
 		if err != nil {
 			return nil, err
@@ -32,11 +34,13 @@ func (r *Runner) CrowdingStudy() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := a.Crowding(res)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range stats {
+		return a.Crowding(res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range tsvCounts {
+		for _, s := range allStats[i] {
 			if s.Kind != rmesh.LinkTSV && s.Kind != rmesh.LinkLanding {
 				continue
 			}

@@ -7,14 +7,16 @@
 package exp
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/irdrop"
 	"pdn3d/internal/lut"
 	"pdn3d/internal/memctrl"
 	"pdn3d/internal/memstate"
+	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
 )
@@ -27,24 +29,47 @@ type Config struct {
 	MeshPitch float64
 	// Requests overrides the controller workload length (0 = 10000).
 	Requests int
+	// Workers bounds the sweep worker pool (and each solver's kernel
+	// pool). <= 0 selects GOMAXPROCS. Outputs are identical for every
+	// value.
+	Workers int
+	// Solver selects the nodal solver method ("" = solve.DefaultMethod).
+	Solver string
 }
 
 // Runner executes experiments, caching analyzers and look-up tables across
-// experiments that share a design.
+// experiments that share a design. It is safe for concurrent use: cache
+// misses on the same design are deduplicated so each analyzer and table is
+// built exactly once.
 type Runner struct {
 	Cfg Config
 
-	analyzers map[string]*irdrop.Analyzer
-	luts      map[string]*lut.Table
+	analyzers par.Group[*irdrop.Analyzer]
+	luts      par.Group[*lut.Table]
 }
 
 // NewRunner returns a Runner with the given fidelity configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{
-		Cfg:       cfg,
-		analyzers: map[string]*irdrop.Analyzer{},
-		luts:      map[string]*lut.Table{},
+	return &Runner{Cfg: cfg}
+}
+
+// sweep fans fn over n independent design points on the runner's worker
+// pool, collecting each point's result into a slice. It stops early on the
+// first error and returns the lowest-indexed one.
+func sweep[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := par.Sweep(r.Cfg.Workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // requests returns the workload length.
@@ -64,49 +89,97 @@ func (r *Runner) prepare(spec *pdn.Spec) *pdn.Spec {
 	return s
 }
 
-// specKey fingerprints a spec's option fields for caching.
+// keyBuilder assembles an unambiguous cache key: every field is written as
+// <len>:<bytes>, so no combination of field values can collide with a
+// different combination (unlike delimiter-joined %v formatting, where one
+// field's text can absorb the delimiter).
+type keyBuilder struct {
+	sb strings.Builder
+}
+
+func (k *keyBuilder) str(s string) {
+	k.sb.WriteString(strconv.Itoa(len(s)))
+	k.sb.WriteByte(':')
+	k.sb.WriteString(s)
+}
+
+func (k *keyBuilder) int(v int)   { k.str(strconv.Itoa(v)) }
+func (k *keyBuilder) bool(v bool) { k.str(strconv.FormatBool(v)) }
+
+// float writes the exact value (shortest round-trip form), so specs that
+// differ only past some decimal place never share a key.
+func (k *keyBuilder) float(v float64) { k.str(strconv.FormatFloat(v, 'g', -1, 64)) }
+
+// usage writes a string-keyed float map in sorted key order.
+func (k *keyBuilder) usage(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	k.int(len(keys))
+	for _, key := range keys {
+		k.str(key)
+		k.float(m[key])
+	}
+}
+
+// specKey fingerprints every spec field the R-Mesh build and power models
+// read, canonically: distinct designs cannot collide, identical designs
+// always hit the cache.
 func specKey(s *pdn.Spec, withLogic bool) string {
+	var k keyBuilder
+	k.str(s.Name)
+	k.int(s.NumDRAM)
+	k.usage(s.Usage)
+	k.usage(s.LogicUsage)
+	k.int(s.TSVCount)
+	k.str(s.TSVStyle.String())
+	k.str(s.Bonding.String())
+	k.str(s.RDL.String())
+	k.bool(s.WireBond)
+	k.bool(s.DedicatedTSV)
+	k.bool(s.AlignTSV)
+	k.int(s.WiresPerDie)
+	k.float(s.EffMeshPitch())
+	k.bool(s.OnLogic)
+	k.bool(withLogic)
 	failed := make([]int, 0, len(s.FailedTSVs))
-	for k := range s.FailedTSVs {
-		failed = append(failed, k)
+	for f := range s.FailedTSVs {
+		failed = append(failed, f)
 	}
 	sort.Ints(failed)
-	return fmt.Sprintf("%s|%d|%v|%v|%d|%v|%v|%v|%v|%v|%v|%.3f|%v|%v|%v",
-		s.Name, s.NumDRAM, s.Usage, s.LogicUsage, s.TSVCount, s.TSVStyle,
-		s.Bonding, s.RDL, s.WireBond, s.DedicatedTSV, s.AlignTSV,
-		s.EffMeshPitch(), s.OnLogic, withLogic, failed)
+	k.int(len(failed))
+	for _, f := range failed {
+		k.int(f)
+	}
+	return k.sb.String()
 }
 
-// analyzer returns a cached analyzer for the prepared spec.
+// analyzer returns a cached analyzer for the prepared spec, building it
+// exactly once even under concurrent misses.
 func (r *Runner) analyzer(spec *pdn.Spec, dram *powermap.DRAMModel, logic *powermap.LogicModel) (*irdrop.Analyzer, error) {
-	key := specKey(spec, logic != nil)
-	if a, ok := r.analyzers[key]; ok {
+	return r.analyzers.Do(specKey(spec, logic != nil), func() (*irdrop.Analyzer, error) {
+		a, err := irdrop.New(spec, dram, logic)
+		if err != nil {
+			return nil, err
+		}
+		a.Opts.Method = r.Cfg.Solver
+		a.Opts.Workers = r.Cfg.Workers
 		return a, nil
-	}
-	a, err := irdrop.New(spec, dram, logic)
-	if err != nil {
-		return nil, err
-	}
-	r.analyzers[key] = a
-	return a, nil
+	})
 }
 
-// lutFor returns a cached IR-drop look-up table for the prepared spec.
+// lutFor returns a cached IR-drop look-up table for the prepared spec,
+// building it exactly once even under concurrent misses.
 func (r *Runner) lutFor(spec *pdn.Spec, dram *powermap.DRAMModel, logic *powermap.LogicModel) (*lut.Table, error) {
-	key := "lut|" + specKey(spec, logic != nil)
-	if t, ok := r.luts[key]; ok {
-		return t, nil
-	}
-	a, err := r.analyzer(spec, dram, logic)
-	if err != nil {
-		return nil, err
-	}
-	t, err := lut.Build(a, memstate.MaxInterleavedBanks, lut.DefaultIOLevels())
-	if err != nil {
-		return nil, err
-	}
-	r.luts[key] = t
-	return t, nil
+	return r.luts.Do(specKey(spec, logic != nil), func() (*lut.Table, error) {
+		a, err := r.analyzer(spec, dram, logic)
+		if err != nil {
+			return nil, err
+		}
+		return lut.BuildWith(a, memstate.MaxInterleavedBanks, lut.DefaultIOLevels(), r.Cfg.Workers)
+	})
 }
 
 // analyzeCounts is a convenience wrapper: analyze a count state at the

@@ -21,37 +21,57 @@ func (r *Runner) TSVFailureStudy() (*report.Table, error) {
 		Title:  "TSV failure resilience (off-chip stacked DDR3, 0-0-0-2)",
 		Header: []string{"TSV count", "failed", "alive", "max IR (mV)", "vs healthy"},
 	}
-	for _, tc := range []int{33, 120} {
-		var healthy float64
-		for _, failPct := range []int{0, 10, 25, 50} {
-			spec := r.prepare(b.Spec)
-			spec.TSVCount = tc
-			nFail := tc * failPct / 100
-			if nFail > 0 {
-				// Deterministic spread: fail every stride-th via stack.
-				spec.FailedTSVs = map[int]bool{}
-				stride := tc / nFail
-				for i := 0; i < nFail; i++ {
-					spec.FailedTSVs[(i*stride)%tc] = true
-				}
-			}
-			a, err := r.analyzer(spec, b.DRAMPower, nil)
-			if err != nil {
-				return nil, err
-			}
-			res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
-			if err != nil {
-				return nil, err
-			}
-			rel := "-"
-			if failPct == 0 {
-				healthy = res.MaxIR
-			} else {
-				rel = report.Pct(healthy, res.MaxIR)
-			}
-			t.AddRow(tc, fmt.Sprintf("%d%%", failPct), tc-len(spec.FailedTSVs),
-				res.MaxIRmV(), rel)
+	tsvCounts := []int{33, 120}
+	failPcts := []int{0, 10, 25, 50}
+	type point struct {
+		tc, failPct int
+	}
+	var points []point
+	for _, tc := range tsvCounts {
+		for _, failPct := range failPcts {
+			points = append(points, point{tc, failPct})
 		}
+	}
+	type outcome struct {
+		maxIR float64
+		alive int
+	}
+	results, err := sweep(r, len(points), func(i int) (outcome, error) {
+		p := points[i]
+		spec := r.prepare(b.Spec)
+		spec.TSVCount = p.tc
+		nFail := p.tc * p.failPct / 100
+		if nFail > 0 {
+			// Deterministic spread: fail every stride-th via stack.
+			spec.FailedTSVs = map[int]bool{}
+			stride := p.tc / nFail
+			for i := 0; i < nFail; i++ {
+				spec.FailedTSVs[(i*stride)%p.tc] = true
+			}
+		}
+		a, err := r.analyzer(spec, b.DRAMPower, nil)
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{maxIR: res.MaxIR, alive: p.tc - len(spec.FailedTSVs)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var healthy float64
+	for i, p := range points {
+		rel := "-"
+		if p.failPct == 0 {
+			healthy = results[i].maxIR
+		} else {
+			rel = report.Pct(healthy, results[i].maxIR)
+		}
+		t.AddRow(p.tc, fmt.Sprintf("%d%%", p.failPct), results[i].alive,
+			results[i].maxIR*1000, rel)
 	}
 	t.Notes = append(t.Notes,
 		"failures open whole via stacks (landing included); deterministic spread pattern",

@@ -59,35 +59,46 @@ func (r *Runner) Figure5() (*report.Series, error) {
 		Names:  []string{"off-chip", "on-chip misaligned", "on-chip aligned"},
 		Y:      make([][]float64, 3),
 	}
-	for _, tc := range tsvCounts {
-		s.X = append(s.X, float64(tc))
+	results, err := sweep(r, len(tsvCounts), func(i int) ([3]float64, error) {
+		tc := tsvCounts[i]
+		var out [3]float64
 
 		offSpec := r.prepare(off.Spec)
 		offSpec.TSVCount = tc
 		aOff, err := r.analyzer(offSpec, off.DRAMPower, nil)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		rOff, err := aOff.AnalyzeCounts(off.DefaultCounts, off.DefaultIO)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		s.Y[0] = append(s.Y[0], rOff.MaxIRmV())
+		out[0] = rOff.MaxIRmV()
 
-		for i, aligned := range []bool{false, true} {
+		for j, aligned := range []bool{false, true} {
 			onSpec := r.prepare(on.Spec)
 			onSpec.DedicatedTSV = false
 			onSpec.TSVCount = tc
 			onSpec.AlignTSV = aligned
 			a, err := r.analyzer(onSpec, on.DRAMPower, on.LogicPower)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			res, err := a.AnalyzeCounts(on.DefaultCounts, on.DefaultIO)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			s.Y[1+i] = append(s.Y[1+i], res.MaxIRmV())
+			out[1+j] = res.MaxIRmV()
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range tsvCounts {
+		s.X = append(s.X, float64(tc))
+		for k := 0; k < 3; k++ {
+			s.Y[k] = append(s.Y[k], results[i][k])
 		}
 	}
 	return s, nil
@@ -145,10 +156,11 @@ func (r *Runner) Table7() (*report.Table, error) {
 		Title:  "Table 7: design cases for the IR-drop vs. performance study",
 		Header: []string{"case", "max IR (mV)", "paper (mV)"},
 	}
-	for _, c := range Table7Cases() {
-		b, spec, err := r.caseSpec(c)
+	cases := Table7Cases()
+	irs, err := sweep(r, len(cases), func(i int) (float64, error) {
+		b, spec, err := r.caseSpec(cases[i])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var logic = b.LogicPower
 		if !spec.OnLogic {
@@ -156,13 +168,19 @@ func (r *Runner) Table7() (*report.Table, error) {
 		}
 		a, err := r.analyzer(spec, b.DRAMPower, logic)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		t.AddRow(c.Label, res.MaxIRmV(), c.PaperIR)
+		return res.MaxIRmV(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		t.AddRow(c.Label, irs[i], c.PaperIR)
 	}
 	return t, nil
 }
@@ -189,8 +207,8 @@ func (r *Runner) Figure9(constraintsMV []float64) (*report.Series, error) {
 	for _, mv := range constraintsMV {
 		s.X = append(s.X, mv)
 	}
-	for ci, c := range cases {
-		b, spec, err := r.caseSpec(c)
+	rows, err := sweep(r, len(cases), func(ci int) ([]float64, error) {
+		b, spec, err := r.caseSpec(cases[ci])
 		if err != nil {
 			return nil, err
 		}
@@ -202,6 +220,7 @@ func (r *Runner) Figure9(constraintsMV []float64) (*report.Series, error) {
 		if err != nil {
 			return nil, err
 		}
+		out := make([]float64, 0, len(constraintsMV))
 		for _, mv := range constraintsMV {
 			// Feasibility first: if even a lone single-bank activation
 			// violates the constraint, no memory state is allowed and the
@@ -213,7 +232,7 @@ func (r *Runner) Figure9(constraintsMV []float64) (*report.Series, error) {
 				return nil, err
 			}
 			if ir > mv/1000 {
-				s.Y[ci] = append(s.Y[ci], 0)
+				out = append(out, 0)
 				continue
 			}
 			bb := *b
@@ -222,8 +241,13 @@ func (r *Runner) Figure9(constraintsMV []float64) (*report.Series, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.Y[ci] = append(s.Y[ci], run.RuntimeUS)
+			out = append(out, run.RuntimeUS)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	copy(s.Y, rows)
 	return s, nil
 }

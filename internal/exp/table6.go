@@ -49,18 +49,22 @@ func (r *Runner) Table6() (*report.Table, *Table6Result, error) {
 		limit = floor * 1.02
 	}
 
-	std, err := r.policyRun(b, table, memctrl.PolicyStandard, memctrl.FCFS, 0)
+	runs := []struct {
+		policy memctrl.IRPolicy
+		sched  memctrl.Scheduler
+		limit  float64
+	}{
+		{memctrl.PolicyStandard, memctrl.FCFS, 0},
+		{memctrl.PolicyIRAware, memctrl.FCFS, limit},
+		{memctrl.PolicyIRAware, memctrl.DistR, limit},
+	}
+	results, err := sweep(r, len(runs), func(i int) (*memctrl.Result, error) {
+		return r.policyRun(b, table, runs[i].policy, runs[i].sched, runs[i].limit)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	fcfs, err := r.policyRun(b, table, memctrl.PolicyIRAware, memctrl.FCFS, limit)
-	if err != nil {
-		return nil, nil, err
-	}
-	distr, err := r.policyRun(b, table, memctrl.PolicyIRAware, memctrl.DistR, limit)
-	if err != nil {
-		return nil, nil, err
-	}
+	std, fcfs, distr := results[0], results[1], results[2]
 
 	t := &report.Table{
 		Title:  "Table 6: impact of architectural policy in stacked DDR3 (off-chip, F2B)",

@@ -38,7 +38,7 @@ func (r *Runner) Table9(benchName string) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch}
+	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch, Workers: r.Cfg.Workers, Solver: r.Cfg.Solver}
 	if err := o.FitModels(); err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func (r *Runner) Table9(benchName string) (*report.Table, error) {
 	addRow("baseline", base)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("regression: worst RMSE %.4f (log-mV), worst R^2 %.5f over %d R-Mesh samples",
-			o.FitRMSE, o.FitR2, o.Solves),
+			o.FitRMSE, o.FitR2, o.SolveCount()),
 		"paper regression: RMSE < 0.135, R^2 > 0.999")
 	return t, nil
 }
@@ -85,7 +85,7 @@ func (r *Runner) RegressionStudy(benchName string) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch}
+	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch, Workers: r.Cfg.Workers, Solver: r.Cfg.Solver}
 	if err := o.FitModels(); err != nil {
 		return nil, err
 	}
@@ -95,9 +95,9 @@ func (r *Runner) RegressionStudy(benchName string) (*report.Table, error) {
 		Title:  fmt.Sprintf("Sec. 6.1: regression analysis for %s", benchName),
 		Header: []string{"metric", "value"},
 	}
-	t.AddRow("R-Mesh samples solved", o.Solves)
+	t.AddRow("R-Mesh samples solved", o.SolveCount())
 	t.AddRow("design points covered by model", grid)
-	t.AddRow("solve reduction", fmt.Sprintf("%.0fx", float64(grid)/float64(maxInt(o.Solves, 1))))
+	t.AddRow("solve reduction", fmt.Sprintf("%.0fx", float64(grid)/float64(maxInt(o.SolveCount(), 1))))
 	t.AddRow("worst-combo RMSE (log mV)", fmt.Sprintf("%.4f", o.FitRMSE))
 	t.AddRow("worst-combo R^2", fmt.Sprintf("%.5f", o.FitR2))
 	t.Notes = append(t.Notes, "paper: brute force 4637 h -> 10 h with regression; RMSE < 0.135, R^2 > 0.999")

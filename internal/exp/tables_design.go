@@ -5,6 +5,7 @@ import (
 
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/cost"
+	"pdn3d/internal/irdrop"
 	"pdn3d/internal/memstate"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/report"
@@ -50,25 +51,24 @@ func (r *Runner) MetalUsageStudy() (*report.Table, error) {
 		Title:  "Sec. 3: PDN metal usage impact (off-chip stacked DDR3, 0-0-0-2)",
 		Header: []string{"PDN metal", "M2/M3 usage", "max IR (mV)", "vs baseline"},
 	}
-	var baseIR float64
-	for i, spec := range []*pdn.Spec{base, dbl} {
-		a, err := r.analyzer(spec, b.DRAMPower, nil)
+	specs := []*pdn.Spec{base, dbl}
+	results, err := sweep(r, len(specs), func(i int) (*irdrop.Result, error) {
+		a, err := r.analyzer(specs[i], b.DRAMPower, nil)
 		if err != nil {
 			return nil, err
 		}
-		res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
-		if err != nil {
-			return nil, err
-		}
-		label := "1x"
-		rel := "-"
-		if i == 0 {
-			baseIR = res.MaxIR
-		} else {
+		return a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		label, rel := "1x", "-"
+		if i > 0 {
 			label = "2x"
-			rel = report.Pct(baseIR, res.MaxIR)
+			rel = report.Pct(results[0].MaxIR, res.MaxIR)
 		}
-		t.AddRow(label, fmt.Sprintf("%.0f%%/%.0f%%", spec.Usage["M2"]*100, spec.Usage["M3"]*100),
+		t.AddRow(label, fmt.Sprintf("%.0f%%/%.0f%%", specs[i].Usage["M2"]*100, specs[i].Usage["M3"]*100),
 			res.MaxIRmV(), rel)
 	}
 	t.Notes = append(t.Notes, "paper: 2x PDN metal reduces IR drop by more than 40%")
@@ -139,22 +139,32 @@ func (r *Runner) Table2() (*report.Table, error) {
 		Title:  "Table 2: TSV location and RDL options (off-chip stacked DDR3)",
 		Header: []string{"design option", "max IR (mV)", "paper (mV)", "cost"},
 	}
-	for _, o := range options {
+	type row struct {
+		ir   float64
+		cost float64
+	}
+	rows, err := sweep(r, len(options), func(i int) (row, error) {
 		spec := r.prepare(b.Spec)
-		o.mut(spec)
+		options[i].mut(spec)
 		a, err := r.analyzer(spec, b.DRAMPower, nil)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		res, err := a.AnalyzeCounts(b.DefaultCounts, b.DefaultIO)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		c, err := cm.Total(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		t.AddRow(o.name, res.MaxIRmV(), o.paper, fmt.Sprintf("%.3f", c))
+		return row{ir: res.MaxIRmV(), cost: c}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range options {
+		t.AddRow(o.name, rows[i].ir, o.paper, fmt.Sprintf("%.3f", rows[i].cost))
 	}
 	return t, nil
 }
@@ -185,7 +195,8 @@ func (r *Runner) Table3() (*report.Table, error) {
 		Title:  "Table 3: impact of dedicated TSVs and wire bonding (stacked DDR3)",
 		Header: []string{"design", "baseline (mV)", "wire-bonded (mV)", "delta", "paper"},
 	}
-	for _, row := range rows {
+	irs, err := sweep(r, len(rows), func(i int) ([2]float64, error) {
+		row := rows[i]
 		spec := r.prepare(row.bench.Spec)
 		spec.DedicatedTSV = row.dedicated && spec.OnLogic
 		wbSpec := spec.Clone()
@@ -194,19 +205,25 @@ func (r *Runner) Table3() (*report.Table, error) {
 		if !spec.OnLogic {
 			logic = nil
 		}
-		var irs [2]float64
-		for i, s := range []*pdn.Spec{spec, wbSpec} {
+		var out [2]float64
+		for j, s := range []*pdn.Spec{spec, wbSpec} {
 			a, err := r.analyzer(s, row.bench.DRAMPower, logic)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			res, err := a.AnalyzeCounts(row.bench.DefaultCounts, row.bench.DefaultIO)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			irs[i] = res.MaxIRmV()
+			out[j] = res.MaxIRmV()
 		}
-		t.AddRow(row.name, irs[0], irs[1], report.Pct(irs[0], irs[1]),
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		t.AddRow(row.name, irs[i][0], irs[i][1], report.Pct(irs[i][0], irs[i][1]),
 			fmt.Sprintf("%.2f -> %.2f", row.paperBase, row.paperWB))
 	}
 	return t, nil
@@ -242,26 +259,35 @@ func (r *Runner) Table4() (*report.Table, error) {
 		Title:  "Table 4: intra-pair overlapping under F2F (stacked DDR3, two-bank interleaving)",
 		Header: []string{"memory state", "overlap", "F2B (mV)", "F2F+B2B (mV)", "delta", "paper F2B/F2F"},
 	}
-	for _, c := range cases {
+	type pair struct{ b, f *irdrop.Result }
+	results, err := sweep(r, len(cases), func(i int) (pair, error) {
+		c := cases[i]
 		if got := memstate.IntraPairOverlap(c.state); got != (c.overlap == "yes") {
-			return nil, fmt.Errorf("exp: case %s overlap classification mismatch", c.name)
+			return pair{}, fmt.Errorf("exp: case %s overlap classification mismatch", c.name)
 		}
 		aB, err := r.analyzer(f2b, b.DRAMPower, nil)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		rB, err := aB.Analyze(c.state, 0.5)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		aF, err := r.analyzer(f2f, b.DRAMPower, nil)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		rF, err := aF.Analyze(c.state, 0.5)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
+		return pair{b: rB, f: rF}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		rB, rF := results[i].b, results[i].f
 		t.AddRow(c.name, c.overlap, rB.MaxIRmV(), rF.MaxIRmV(),
 			report.Pct(rB.MaxIR, rF.MaxIR),
 			fmt.Sprintf("%.2f/%.2f", c.paper[0], c.paper[1]))
@@ -296,30 +322,42 @@ func (r *Runner) Table5() (*report.Table, error) {
 		Title:  "Table 5: memory state and I/O activity (off-chip stacked DDR3)",
 		Header: []string{"state", "IO/die", "active die (mW)", "total (mW)", "F2B (mV)", "F2F+B2B (mV)", "paper F2B/F2F"},
 	}
-	for _, row := range rows {
-		aB, err := r.analyzer(f2b, b.DRAMPower, nil)
-		if err != nil {
-			return nil, err
-		}
+	type pair struct {
+		st     memstate.State
+		rB, rF *irdrop.Result
+	}
+	results, err := sweep(r, len(rows), func(i int) (pair, error) {
+		row := rows[i]
 		st, err := memstate.FromCounts(row.counts, memstate.WorstCaseEdge(b.Spec.DRAM.NumBanks))
 		if err != nil {
-			return nil, err
+			return pair{}, err
+		}
+		aB, err := r.analyzer(f2b, b.DRAMPower, nil)
+		if err != nil {
+			return pair{}, err
 		}
 		rB, err := aB.Analyze(st, row.io)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		aF, err := r.analyzer(f2f, b.DRAMPower, nil)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		rF, err := aF.Analyze(st, row.io)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		t.AddRow(st.String(), fmt.Sprintf("%.0f%%", row.io*100),
-			fmt.Sprintf("%.1f", rB.ActiveDiePower), fmt.Sprintf("%.1f", rB.TotalPower),
-			rB.MaxIRmV(), rF.MaxIRmV(),
+		return pair{st: st, rB: rB, rF: rF}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		res := results[i]
+		t.AddRow(res.st.String(), fmt.Sprintf("%.0f%%", row.io*100),
+			fmt.Sprintf("%.1f", res.rB.ActiveDiePower), fmt.Sprintf("%.1f", res.rB.TotalPower),
+			res.rB.MaxIRmV(), res.rF.MaxIRmV(),
 			fmt.Sprintf("%.2f/%.2f", row.paper[0], row.paper[1]))
 	}
 	return t, nil

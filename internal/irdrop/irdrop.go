@@ -12,9 +12,11 @@ package irdrop
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
+	"sync/atomic"
 
 	"pdn3d/internal/memstate"
+	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
 	"pdn3d/internal/rmesh"
@@ -30,12 +32,13 @@ type Analyzer struct {
 	// LogicPower is the host logic power model (nil off-chip, or when the
 	// logic die should be analyzed unloaded).
 	LogicPower *powermap.LogicModel
-	// Opts tunes the CG solver. The zero value selects defaults good for
-	// millivolt-accurate results.
-	Opts solve.CGOptions
+	// Opts selects and tunes the solver. The zero value selects the default
+	// method with tolerances good for millivolt-accurate results. Set it
+	// before the first Analyze call; it must not change afterwards.
+	Opts solve.Options
 
-	mu    sync.Mutex
-	cache map[string]*Result
+	results par.Group[*Result]
+	solves  atomic.Int64
 }
 
 // Result is one IR-drop analysis outcome.
@@ -82,8 +85,7 @@ func New(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.Log
 		Model:      m,
 		DRAMPower:  dramPower,
 		LogicPower: logicPower,
-		Opts:       solve.CGOptions{Tol: 1e-8, MaxIter: 60000},
-		cache:      map[string]*Result{},
+		Opts:       solve.Options{CGOptions: solve.CGOptions{Tol: 1e-8, MaxIter: 60000}},
 	}, nil
 }
 
@@ -92,26 +94,21 @@ func (a *Analyzer) Spec() *pdn.Spec { return a.Model.Spec }
 
 // Analyze solves the design under the given memory state and I/O activity.
 // Results are memoized by (state, io). Analyze is safe for concurrent use:
-// the conductance matrix is immutable after Build and each solve works on
-// its own vectors (concurrent misses on the same key may solve twice, but
-// both produce the same result).
+// the conductance matrix is immutable after Build, each solve works on its
+// own vectors, and concurrent misses on the same key are deduplicated so
+// every (state, io) pair is solved exactly once.
 func (a *Analyzer) Analyze(state memstate.State, io float64) (*Result, error) {
-	key := fmt.Sprintf("%s@%.4f", state.Key(), io)
-	a.mu.Lock()
-	r, ok := a.cache[key]
-	a.mu.Unlock()
-	if ok {
-		return r, nil
-	}
-	r, err := a.analyze(state, io)
-	if err != nil {
-		return nil, err
-	}
-	a.mu.Lock()
-	a.cache[key] = r
-	a.mu.Unlock()
-	return r, nil
+	key := state.Key() + "@" + strconv.FormatFloat(io, 'g', -1, 64)
+	return a.results.Do(key, func() (*Result, error) {
+		a.solves.Add(1)
+		return a.analyze(state, io)
+	})
 }
+
+// Solves reports how many nodal solves the analyzer has run — cache hits
+// and deduplicated concurrent misses do not count. Exposed for the
+// exactly-once concurrency tests and solve-count accounting.
+func (a *Analyzer) Solves() int { return int(a.solves.Load()) }
 
 // AnalyzeCounts is Analyze for a bare per-die count vector using the
 // worst-case edge placement (paper §5.1).

@@ -1,0 +1,63 @@
+package irdrop
+
+import (
+	"sync"
+	"testing"
+
+	"pdn3d/internal/powermap"
+)
+
+// Hammer the analyzer from many goroutines: every distinct (state, io) key
+// must be solved exactly once (singleflight), all callers of one key must
+// get the same *Result, and the whole thing must be clean under -race.
+func TestAnalyzeConcurrentExactlyOnce(t *testing.T) {
+	a, err := New(coarseSpec(t), powermap.StackedDDR3Power(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct {
+		counts []int
+		io     float64
+	}
+	points := []point{
+		{[]int{1, 0, 0, 0}, 1.0},
+		{[]int{0, 2, 0, 0}, 1.0},
+		{[]int{0, 0, 0, 2}, 0.5},
+		{[]int{1, 1, 1, 1}, 1.0},
+		{[]int{0, 0, 0, 0}, 0.0},
+	}
+	const goroutinesPerPoint = 16
+	results := make([][]*Result, len(points))
+	for i := range results {
+		results[i] = make([]*Result, goroutinesPerPoint)
+	}
+	var wg sync.WaitGroup
+	for pi, p := range points {
+		for g := 0; g < goroutinesPerPoint; g++ {
+			wg.Add(1)
+			go func(pi, g int, p point) {
+				defer wg.Done()
+				r, err := a.AnalyzeCounts(p.counts, p.io)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[pi][g] = r
+			}(pi, g, p)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for pi := range results {
+		for g := 1; g < goroutinesPerPoint; g++ {
+			if results[pi][g] != results[pi][0] {
+				t.Errorf("point %d: goroutine %d got a different *Result — key solved more than once", pi, g)
+			}
+		}
+	}
+	if got := a.Solves(); got != len(points) {
+		t.Errorf("analyzer ran %d solves for %d distinct keys; want exactly one each", got, len(points))
+	}
+}

@@ -72,10 +72,11 @@ func Validate(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powerma
 	return v, nil
 }
 
-// CrossCheckDense solves the design's nodal system with both the iterative
-// CG path and an exact dense Cholesky factorization and returns the maximum
-// absolute voltage disagreement in volts. It guards the solver itself and
-// is restricted to small meshes (the dense path is O(n³)).
+// CrossCheckDense solves the design's nodal system with every registered
+// solver method and compares each against an exact dense Cholesky
+// factorization, returning the maximum absolute voltage disagreement in
+// volts across all of them. It guards the solver registry itself and is
+// restricted to small meshes (the dense path is O(n³)).
 func CrossCheckDense(spec *pdn.Spec, dramPower *powermap.DRAMModel,
 	state memstate.State, io float64, maxNodes int) (float64, error) {
 
@@ -101,18 +102,23 @@ func CrossCheckDense(spec *pdn.Spec, dramPower *powermap.DRAMModel,
 			return 0, err
 		}
 	}
-	vCG, _, err := m.Solve(rhs, solve.CGOptions{Tol: 1e-12, MaxIter: 100000})
-	if err != nil {
-		return 0, err
-	}
 	vExact, err := solve.DenseSolve(m.Matrix, rhs)
 	if err != nil {
 		return 0, err
 	}
 	var worst float64
-	for i := range vCG {
-		if d := math.Abs(vCG[i] - vExact[i]); d > worst {
-			worst = d
+	for _, method := range solve.Methods() {
+		v, _, err := m.Solve(rhs, solve.Options{
+			Method:    method,
+			CGOptions: solve.CGOptions{Tol: 1e-12, MaxIter: 100000},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("irdrop: %s: %w", method, err)
+		}
+		for i := range v {
+			if d := math.Abs(v[i] - vExact[i]); d > worst {
+				worst = d
+			}
 		}
 	}
 	return worst, nil

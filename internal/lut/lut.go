@@ -7,13 +7,12 @@ package lut
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"pdn3d/internal/irdrop"
+	"pdn3d/internal/par"
 )
 
 // Table is an immutable IR-drop look-up table.
@@ -34,10 +33,17 @@ type Table struct {
 // these levels cover stacks of up to four dies exactly.
 func DefaultIOLevels() []float64 { return []float64{0.25, 0.5, 1.0} }
 
-// Build pre-computes the table with the given analyzer. The analyzer's
-// design defines the die and bank counts; states use the worst-case edge
-// placement like the paper's Table 5.
+// Build pre-computes the table with the given analyzer using one worker
+// per CPU. The analyzer's design defines the die and bank counts; states
+// use the worst-case edge placement like the paper's Table 5.
 func Build(a *irdrop.Analyzer, maxPerDie int, ioLevels []float64) (*Table, error) {
+	return BuildWith(a, maxPerDie, ioLevels, 0)
+}
+
+// BuildWith is Build with an explicit worker budget (<= 0 selects
+// GOMAXPROCS). Design points fan out across the pool; the table contents
+// are identical for every worker count.
+func BuildWith(a *irdrop.Analyzer, maxPerDie int, ioLevels []float64, workers int) (*Table, error) {
 	if maxPerDie < 1 {
 		return nil, fmt.Errorf("lut: maxPerDie %d must be >= 1", maxPerDie)
 	}
@@ -58,9 +64,10 @@ func Build(a *irdrop.Analyzer, maxPerDie int, ioLevels []float64) (*Table, error
 		IOLevels:  levels,
 		entries:   make(map[string]float64),
 	}
-	// Enumerate all count vectors, then solve them in parallel: each
-	// solve only reads the shared conductance matrix, and Analyze is safe
-	// for concurrent use.
+	// Enumerate all count vectors, then fan the solves out across the
+	// worker pool: each solve only reads the shared conductance matrix,
+	// and Analyze is safe for concurrent use. Each design point writes its
+	// own result slot, so no channels or locks are needed.
 	var states [][]int
 	counts := make([]int, dies)
 	var rec func(d int)
@@ -77,49 +84,25 @@ func Build(a *irdrop.Analyzer, maxPerDie int, ioLevels []float64) (*Table, error
 	}
 	rec(0)
 
-	type entry struct {
-		k string
-		v float64
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(states) {
-		workers = len(states)
-	}
-	// Buffered and pre-filled so an erroring worker can bail out without
-	// blocking anyone.
-	work := make(chan []int, len(states))
-	for _, c := range states {
-		work <- c
-	}
-	close(work)
-	results := make(chan entry, len(states)*len(levels))
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				for _, io := range levels {
-					r, err := a.AnalyzeCounts(c, io)
-					if err != nil {
-						errs <- err
-						return
-					}
-					results <- entry{k: key(c, io), v: r.MaxIR}
-				}
+	irs := make([][]float64, len(states))
+	err := par.Sweep(workers, len(states), func(i int) error {
+		irs[i] = make([]float64, len(levels))
+		for li, io := range levels {
+			r, err := a.AnalyzeCounts(states[i], io)
+			if err != nil {
+				return err
 			}
-		}()
-	}
-	wg.Wait()
-	close(results)
-	select {
-	case err := <-errs:
+			irs[i][li] = r.MaxIR
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
-	for e := range results {
-		t.entries[e.k] = e.v
+	for i, c := range states {
+		for li, io := range levels {
+			t.entries[key(c, io)] = irs[i][li]
+		}
 	}
 	return t, nil
 }

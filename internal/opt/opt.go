@@ -10,10 +10,12 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/cost"
 	"pdn3d/internal/irdrop"
+	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/regress"
 )
@@ -92,14 +94,21 @@ type Optimizer struct {
 	// GridSteps is the per-axis resolution of the prediction-space search
 	// (0 selects 9).
 	GridSteps int
+	// Workers bounds the sampling worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Solver selects the nodal solver method ("" = the default).
+	Solver string
 
 	fits map[string]*regress.Fit
 	// FitRMSE and FitR2 summarize the worst fit across combos, the
 	// figures the paper quotes (RMSE < 0.135, R² > 0.999).
 	FitRMSE, FitR2 float64
-	// Solves counts R-Mesh evaluations spent on sampling.
-	Solves int
+
+	solves atomic.Int64
 }
+
+// SolveCount reports the R-Mesh evaluations spent on sampling so far.
+func (o *Optimizer) SolveCount() int { return int(o.solves.Load()) }
 
 func (o *Optimizer) costModel() *cost.Model {
 	if o.Cost != nil {
@@ -171,6 +180,7 @@ func (o *Optimizer) measure(c Candidate) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	a.Opts.Method = o.Solver
 	n := spec.NumDRAM
 	worst := 0.0
 	states := [][]int{topDie(n, 2)}
@@ -184,7 +194,7 @@ func (o *Optimizer) measure(c Candidate) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		o.Solves++
+		o.solves.Add(1)
 		if r.MaxIRmV() > worst {
 			worst = r.MaxIRmV()
 		}
@@ -232,7 +242,9 @@ func axisSamples(lo, hi float64, n int) []float64 {
 }
 
 // FitModels samples the design space and fits one regression per
-// categorical combo. It must run before Best.
+// categorical combo, fanning combos across the worker pool (every combo's
+// samples use an independent analyzer, so they parallelize cleanly). It
+// must run before Best.
 func (o *Optimizer) FitModels() error {
 	sp := o.Bench.Space
 	n := o.samplesPerAxis()
@@ -240,9 +252,10 @@ func (o *Optimizer) FitModels() error {
 	m3s := axisSamples(sp.M3Range[0], sp.M3Range[1], n)
 	tcs := tcSamples(sp.TSVRange, n+1)
 
-	o.fits = map[string]*regress.Fit{}
-	o.FitR2 = 1
-	for _, cb := range o.combos() {
+	combos := o.combos()
+	fits := make([]*regress.Fit, len(combos))
+	err := par.Sweep(o.Workers, len(combos), func(ci int) error {
+		cb := combos[ci]
 		var samples []regress.Sample
 		for _, m2 := range m2s {
 			for _, m3 := range m3s {
@@ -264,6 +277,17 @@ func (o *Optimizer) FitModels() error {
 		if err != nil {
 			return fmt.Errorf("opt: fitting combo %s: %w", cb.key(), err)
 		}
+		fits[ci] = fit
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	o.fits = map[string]*regress.Fit{}
+	o.FitRMSE = 0
+	o.FitR2 = 1
+	for ci, cb := range combos {
+		fit := fits[ci]
 		o.fits[cb.key()] = fit
 		// Track worst-case quality in mV-comparable units: convert the
 		// log-space RMSE to a relative error and scale by the combo's

@@ -166,7 +166,7 @@ func TestFitQualityReported(t *testing.T) {
 	if o.FitR2 < 0.8 || o.FitR2 > 1 {
 		t.Errorf("FitR2 = %g out of plausible range", o.FitR2)
 	}
-	if o.Solves == 0 {
+	if o.SolveCount() == 0 {
 		t.Error("no solves recorded")
 	}
 	if o.GridSize() <= 0 {

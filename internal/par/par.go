@@ -1,0 +1,196 @@
+// Package par provides the small concurrency primitives shared by the
+// analysis stack: a bounded worker-pool sweep with first-error
+// cancellation (design-space fan-out), deterministic block partitioning
+// (kernel sharding), and a singleflight-style call deduplicator (analyzer
+// and LUT caches).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep runs fn(i) for every i in [0, n) on at most workers goroutines
+// (<= 0 selects GOMAXPROCS) and returns the error of the lowest-indexed
+// failing call. After the first failure no new indices are started, so a
+// sweep over independent design points cancels promptly; calls already in
+// flight run to completion.
+func Sweep(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n
+		firstBy error
+		wg      sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for !stopped.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if i < errIdx {
+					errIdx, firstBy = i, err
+				}
+				mu.Unlock()
+				stopped.Store(true)
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go worker()
+	}
+	worker() // the caller participates, bounding the pool at `workers`
+	wg.Wait()
+	return firstBy
+}
+
+// Blocks partitions [0, n) into fixed-size blocks and runs fn(b, lo, hi)
+// for block b over every range, on at most workers goroutines. The
+// partitioning depends only on n and block — never on workers — so
+// block-indexed reductions (partial sums gathered per block and combined
+// in block order) are bit-for-bit deterministic for any worker count.
+func Blocks(workers, n, block int, fn func(b, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block <= 0 {
+		block = n
+	}
+	nb := (n + block - 1) / block
+	run := func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		fn(b, lo, hi)
+	}
+	workers = Workers(workers)
+	if workers > nb {
+		workers = nb
+	}
+	if workers == 1 {
+		for b := 0; b < nb; b++ {
+			run(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= nb {
+				return
+			}
+			run(b)
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go worker()
+	}
+	worker()
+	wg.Wait()
+}
+
+// Group deduplicates concurrent calls by key, singleflight-style: the
+// first caller for a key runs fn, every caller arriving while that call is
+// in flight waits for and shares its outcome, and successful results are
+// cached for all later callers. A failed call is not cached, so the next
+// caller retries. The zero value is ready to use.
+type Group[V any] struct {
+	mu       sync.Mutex
+	done     map[string]V
+	inflight map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do returns the cached value for key, or runs fn to produce it. Among
+// concurrent callers for one key, exactly one executes fn.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if v, ok := g.done[key]; ok {
+		g.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.val, f.err
+	}
+	if g.inflight == nil {
+		g.inflight = map[string]*flight[V]{}
+	}
+	f := &flight[V]{}
+	f.wg.Add(1)
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	if f.err == nil {
+		if g.done == nil {
+			g.done = map[string]V{}
+		}
+		g.done[key] = f.val
+	}
+	g.mu.Unlock()
+	f.wg.Done()
+	return f.val, f.err
+}
+
+// Cached returns the completed value for key, if any.
+func (g *Group[V]) Cached(key string) (V, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.done[key]
+	return v, ok
+}
+
+// Len reports the number of completed (cached) keys.
+func (g *Group[V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.done)
+}

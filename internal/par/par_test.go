@@ -1,0 +1,162 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 100
+		var hits = make([]atomic.Int64, n)
+		if err := Sweep(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestSweepReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Sweep(4, 50, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 30:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the lowest-indexed failure", err)
+	}
+}
+
+func TestSweepCancelsAfterError(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := Sweep(2, 10000, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n == 10000 {
+		t.Error("sweep ran every index despite an early error")
+	}
+}
+
+func TestSweepZeroAndNegativeN(t *testing.T) {
+	if err := Sweep(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sweep(4, -3, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksCoverExactly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, n := range []int{1, 7, 64, 100} {
+			covered := make([]atomic.Int64, n)
+			Blocks(workers, n, 16, func(b, lo, hi int) {
+				if lo != b*16 {
+					t.Errorf("block %d starts at %d", b, lo)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			for i := range covered {
+				if covered[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, covered[i].Load())
+				}
+			}
+		}
+	}
+}
+
+// Block partitioning must not depend on the worker count: a block-indexed
+// reduction combined in block order is then deterministic.
+func TestBlocksDeterministicPartition(t *testing.T) {
+	n, block := 1000, 64
+	shape := func(workers int) string {
+		var mu sync.Mutex
+		spans := map[int]string{}
+		Blocks(workers, n, block, func(b, lo, hi int) {
+			mu.Lock()
+			spans[b] = fmt.Sprintf("%d:%d", lo, hi)
+			mu.Unlock()
+		})
+		out := ""
+		for b := 0; b < (n+block-1)/block; b++ {
+			out += spans[b] + ","
+		}
+		return out
+	}
+	if shape(1) != shape(8) {
+		t.Error("partitioning depends on worker count")
+	}
+}
+
+func TestGroupExactlyOncePerKey(t *testing.T) {
+	var g Group[int]
+	var calls [8]atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 64; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			k := r % len(calls)
+			v, err := g.Do(fmt.Sprintf("k%d", k), func() (int, error) {
+				calls[k].Add(1)
+				return 100 + k, nil
+			})
+			if err != nil || v != 100+k {
+				t.Errorf("Do(k%d) = %d, %v", k, v, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for k := range calls {
+		if n := calls[k].Load(); n != 1 {
+			t.Errorf("key k%d built %d times, want exactly once", k, n)
+		}
+	}
+	if g.Len() != len(calls) {
+		t.Errorf("Len = %d, want %d", g.Len(), len(calls))
+	}
+}
+
+func TestGroupDoesNotCacheErrors(t *testing.T) {
+	var g Group[int]
+	n := 0
+	if _, err := g.Do("k", func() (int, error) { n++; return 0, errors.New("x") }); err == nil {
+		t.Fatal("want error")
+	}
+	v, err := g.Do("k", func() (int, error) { n++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry: %d, %v", v, err)
+	}
+	if n != 2 {
+		t.Fatalf("fn ran %d times, want 2 (error not cached)", n)
+	}
+	if v, ok := g.Cached("k"); !ok || v != 7 {
+		t.Fatalf("Cached = %d, %v", v, ok)
+	}
+}

@@ -2,9 +2,9 @@ package rmesh
 
 import (
 	"fmt"
-	"sync"
 
 	"pdn3d/internal/geom"
+	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/solve"
 	"pdn3d/internal/sparse"
@@ -37,8 +37,10 @@ type Model struct {
 	dramLoad  []*Layer // load layer per DRAM die
 	logicLoad *Layer   // nil when off-chip
 
-	preOnce sync.Once
-	pre     *solve.ICPreconditioner
+	// solvers caches one Solver per (method, workers) so per-matrix setup
+	// (IC(0) or dense factorization) happens exactly once per model, even
+	// when many goroutines request it concurrently.
+	solvers par.Group[solve.Solver]
 }
 
 // Tie is a conductance from a mesh node to the ideal package supply.

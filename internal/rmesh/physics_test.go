@@ -76,7 +76,7 @@ func TestSuperposition(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		v, _, err := m.Solve(rhs, solve.CGOptions{Tol: 1e-11})
+		v, _, err := m.Solve(rhs, solve.Options{CGOptions: solve.CGOptions{Tol: 1e-11}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestLinearityInLoad(t *testing.T) {
 		if err := m.AddDRAMLoads(rhs, 3, scaled); err != nil {
 			t.Fatal(err)
 		}
-		v, _, err := m.Solve(rhs, solve.CGOptions{Tol: 1e-11})
+		v, _, err := m.Solve(rhs, solve.Options{CGOptions: solve.CGOptions{Tol: 1e-11}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package rmesh
 
 import (
 	"fmt"
+	"strconv"
 
 	"pdn3d/internal/powermap"
 	"pdn3d/internal/solve"
@@ -58,20 +59,30 @@ func addLoads(rhs []float64, l *Layer, loads []powermap.Load, vdd float64) error
 	return nil
 }
 
-// Solve runs the preconditioned conjugate-gradient solver on the assembled
-// system and returns node voltages. The IC(0) factorization is built once
-// per model and shared across right-hand sides (and goroutines).
-func (m *Model) Solve(rhs []float64, opt solve.CGOptions) ([]float64, solve.CGStats, error) {
-	m.preOnce.Do(func() {
-		pre, err := solve.NewIC(m.Matrix)
-		if err == nil {
-			m.pre = pre
-		}
-	})
-	if m.pre == nil {
-		return solve.CG(m.Matrix, rhs, opt)
+// Solver returns the model's solver for the method and worker budget named
+// in opt, building it on first use. Construction is deduplicated: when many
+// goroutines request the same (method, workers) pair concurrently, exactly
+// one factorization runs and the rest share it.
+func (m *Model) Solver(opt solve.Options) (solve.Solver, error) {
+	method := opt.Method
+	if method == "" {
+		method = solve.DefaultMethod
 	}
-	return solve.PCGWith(m.Matrix, m.pre, rhs, opt)
+	return m.solvers.Do(method+"/"+strconv.Itoa(opt.Workers), func() (solve.Solver, error) {
+		return solve.New(m.Matrix, opt)
+	})
+}
+
+// Solve runs the selected solver on the assembled system and returns node
+// voltages. The per-matrix setup (IC(0) or dense factorization) is built
+// once per (method, workers) pair and shared across right-hand sides and
+// goroutines.
+func (m *Model) Solve(rhs []float64, opt solve.Options) ([]float64, solve.CGStats, error) {
+	s, err := m.Solver(opt)
+	if err != nil {
+		return nil, solve.CGStats{}, err
+	}
+	return s.Solve(rhs, opt.CGOptions)
 }
 
 // IRDrop converts node voltages to IR drops (VDD − v).

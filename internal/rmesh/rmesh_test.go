@@ -78,7 +78,7 @@ func solveState(t testing.TB, spec *pdn.Spec, state memstate.State, io float64, 
 			t.Fatal(err)
 		}
 	}
-	v, _, err := m.Solve(rhs, solve.CGOptions{Tol: 1e-9, MaxIter: 40000})
+	v, _, err := m.Solve(rhs, solve.Options{CGOptions: solve.CGOptions{Tol: 1e-9, MaxIter: 40000}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,86 @@
+package solve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmark systems are 2D grid Laplacians with one supply tie — the same
+// stencil structure the R-Mesh nodal systems have. Sizes track the paper's
+// operating range: ~1k nodes (one die's coarse mesh), ~10k (full stack),
+// ~100k (fine-pitch stack).
+var benchSizes = []struct {
+	name   string
+	nx, ny int
+}{
+	{"n1k", 32, 32},    // 1024 nodes
+	{"n10k", 100, 100}, // 10000 nodes
+	{"n100k", 316, 316}, // 99856 nodes
+}
+
+func benchCG(b *testing.B, method string) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			a := grid2D(sz.nx, sz.ny)
+			s, err := New(a, Options{Method: method, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := make([]float64, a.N)
+			rhs[a.N-1] = 0.1
+			rhs[a.N/2] = 0.05
+			b.ReportAllocs()
+			b.ResetTimer()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				_, st, err := s.Solve(rhs, CGOptions{Tol: 1e-8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = st.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters/solve")
+		})
+	}
+}
+
+func BenchmarkCG_Jacobi(b *testing.B) { benchCG(b, MethodCGJacobi) }
+
+func BenchmarkCG_IC0(b *testing.B) { benchCG(b, MethodCGIC0) }
+
+// BenchmarkIC0Factorization isolates the one-time setup cost the Solver
+// interface amortizes across right-hand sides.
+func BenchmarkIC0Factorization(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			a := grid2D(sz.nx, sz.ny)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewIC(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpMV tracks the raw kernel across worker counts (deterministic
+// sharding means the numbers, not the bits, are the only difference).
+func BenchmarkSpMV(b *testing.B) {
+	a := grid2D(316, 316)
+	x := make([]float64, a.N)
+	y := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			k := kernels{workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.mulVec(a, y, x)
+			}
+		})
+	}
+}

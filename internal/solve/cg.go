@@ -1,9 +1,13 @@
 // Package solve provides the linear solvers behind the R-Mesh IR-drop
-// engine: a Jacobi-preconditioned conjugate-gradient solver for the large
-// sparse SPD conductance systems (the production path, standing in for the
-// paper's HSPICE runs), and a dense Cholesky factorization used as the
-// golden reference on small systems (standing in for Cadence EPS in the
-// Figure 4 style validation).
+// engine. Every method lives behind the Solver interface and is selected
+// through a registry (see solver.go): conjugate gradients with Jacobi or
+// IC(0) preconditioning for the large sparse SPD conductance systems (the
+// production paths, standing in for the paper's HSPICE runs), and a dense
+// Cholesky factorization used as the golden reference on small systems
+// (standing in for Cadence EPS in the Figure 4 style validation). The hot
+// BLAS-1/SpMV kernels are sharded across a bounded worker pool for large
+// systems (see kernels.go); sharding is deterministic, so results do not
+// depend on the worker count.
 package solve
 
 import (
@@ -14,7 +18,7 @@ import (
 	"pdn3d/internal/sparse"
 )
 
-// CGOptions tunes the conjugate-gradient solver.
+// CGOptions tunes an iterative solve.
 type CGOptions struct {
 	// Tol is the relative residual target ‖r‖/‖b‖. Zero selects 1e-10.
 	Tol float64
@@ -22,7 +26,7 @@ type CGOptions struct {
 	MaxIter int
 }
 
-// CGStats reports how a CG solve went.
+// CGStats reports how a solve went.
 type CGStats struct {
 	Iterations int
 	Residual   float64 // final relative residual
@@ -33,10 +37,49 @@ type CGStats struct {
 // iteration budget above tolerance.
 var ErrNotConverged = errors.New("solve: CG did not converge")
 
+// Preconditioner approximates the action of A⁻¹: Apply computes
+// z = M⁻¹·r. Implementations must be safe for concurrent Apply calls on
+// distinct vectors after construction.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// Jacobi is the diagonal (Jacobi) preconditioner M = diag(A).
+type Jacobi struct {
+	invD []float64
+}
+
+// NewJacobi builds the Jacobi preconditioner, rejecting non-SPD diagonals.
+func NewJacobi(a *sparse.CSR) (*Jacobi, error) {
+	invD := a.Diag()
+	for i, d := range invD {
+		if d <= 0 {
+			return nil, fmt.Errorf("solve: non-positive diagonal %g at row %d (matrix not SPD)", d, i)
+		}
+		invD[i] = 1 / d
+	}
+	return &Jacobi{invD: invD}, nil
+}
+
+// Apply computes z = diag(A)⁻¹ · r.
+func (j *Jacobi) Apply(z, r []float64) { hadamard(z, j.invD, r) }
+
 // CG solves A·x = b for SPD A with Jacobi (diagonal) preconditioning and
 // returns the solution with convergence statistics. A zero right-hand side
 // short-circuits to the zero vector.
 func CG(a *sparse.CSR, b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	pre, err := NewJacobi(a)
+	if err != nil {
+		return nil, CGStats{}, err
+	}
+	return pcg(a, pre, b, opt, kernels{workers: 1})
+}
+
+// pcg is the shared preconditioned conjugate-gradient core behind every
+// CG-family solver. The residual norm for the convergence check is
+// accumulated in the same pass that updates the residual (k.axpyNormSq)
+// rather than recomputed with a separate sweep.
+func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernels) ([]float64, CGStats, error) {
 	n := a.N
 	if len(b) != n {
 		return nil, CGStats{}, fmt.Errorf("solve: rhs length %d != matrix dim %d", len(b), n)
@@ -50,53 +93,42 @@ func CG(a *sparse.CSR, b []float64, opt CGOptions) ([]float64, CGStats, error) {
 		maxIter = 10 * n
 	}
 
-	normB := norm2(b)
+	normB := k.norm2(b)
 	x := make([]float64, n)
 	if normB == 0 {
 		return x, CGStats{Converged: true}, nil
 	}
 
-	// Jacobi preconditioner M = diag(A).
-	invD := a.Diag()
-	for i, d := range invD {
-		if d <= 0 {
-			return nil, CGStats{}, fmt.Errorf("solve: non-positive diagonal %g at row %d (matrix not SPD)", d, i)
-		}
-		invD[i] = 1 / d
-	}
-
 	r := make([]float64, n)
 	copy(r, b) // x = 0 so r = b
 	z := make([]float64, n)
-	hadamard(z, invD, r)
+	pre.Apply(z, r)
 	p := make([]float64, n)
 	copy(p, z)
 	ap := make([]float64, n)
 
-	rz := dot(r, z)
+	rz := k.dot(r, z)
 	stats := CGStats{}
-	for k := 0; k < maxIter; k++ {
-		a.MulVec(ap, p)
-		pap := dot(p, ap)
+	for it := 0; it < maxIter; it++ {
+		k.mulVec(a, ap, p)
+		pap := k.dot(p, ap)
 		if pap <= 0 {
-			return nil, stats, fmt.Errorf("solve: p'Ap = %g <= 0 at iteration %d (matrix not SPD)", pap, k)
+			return nil, stats, fmt.Errorf("solve: p'Ap = %g <= 0 at iteration %d (matrix not SPD)", pap, it)
 		}
 		alpha := rz / pap
-		axpy(x, alpha, p)
-		axpy(r, -alpha, ap)
-		stats.Iterations = k + 1
-		stats.Residual = norm2(r) / normB
+		k.axpy(x, alpha, p)
+		rNormSq := k.axpyNormSq(r, -alpha, ap)
+		stats.Iterations = it + 1
+		stats.Residual = math.Sqrt(rNormSq) / normB
 		if stats.Residual <= tol {
 			stats.Converged = true
 			return x, stats, nil
 		}
-		hadamard(z, invD, r)
-		rzNew := dot(r, z)
+		pre.Apply(z, r)
+		rzNew := k.dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		k.xpby(p, beta, z)
 	}
 	return x, stats, fmt.Errorf("%w after %d iterations (residual %.3e, tol %.3e)",
 		ErrNotConverged, stats.Iterations, stats.Residual, tol)

@@ -121,59 +121,9 @@ func PCG(a *sparse.CSR, b []float64, opt CGOptions) ([]float64, CGStats, error) 
 	return PCGWith(a, pre, b, opt)
 }
 
-// PCGWith runs preconditioned CG with a previously-built factorization —
+// PCGWith runs preconditioned CG with a previously-built preconditioner —
 // the fast path when many right-hand sides share one matrix (LUT builds,
 // design-space sampling).
-func PCGWith(a *sparse.CSR, pre *ICPreconditioner, b []float64, opt CGOptions) ([]float64, CGStats, error) {
-	n := a.N
-	if len(b) != n {
-		return nil, CGStats{}, fmt.Errorf("solve: rhs length %d != matrix dim %d", len(b), n)
-	}
-	tol := opt.Tol
-	if tol <= 0 {
-		tol = 1e-10
-	}
-	maxIter := opt.MaxIter
-	if maxIter <= 0 {
-		maxIter = 10 * n
-	}
-	normB := norm2(b)
-	x := make([]float64, n)
-	if normB == 0 {
-		return x, CGStats{Converged: true}, nil
-	}
-	r := make([]float64, n)
-	copy(r, b)
-	z := make([]float64, n)
-	pre.Apply(z, r)
-	p := make([]float64, n)
-	copy(p, z)
-	ap := make([]float64, n)
-	rz := dot(r, z)
-	stats := CGStats{}
-	for k := 0; k < maxIter; k++ {
-		a.MulVec(ap, p)
-		pap := dot(p, ap)
-		if pap <= 0 {
-			return nil, stats, fmt.Errorf("solve: p'Ap = %g <= 0 at iteration %d (matrix not SPD)", pap, k)
-		}
-		alpha := rz / pap
-		axpy(x, alpha, p)
-		axpy(r, -alpha, ap)
-		stats.Iterations = k + 1
-		stats.Residual = norm2(r) / normB
-		if stats.Residual <= tol {
-			stats.Converged = true
-			return x, stats, nil
-		}
-		pre.Apply(z, r)
-		rzNew := dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	return x, stats, fmt.Errorf("%w after %d iterations (residual %.3e, tol %.3e)",
-		ErrNotConverged, stats.Iterations, stats.Residual, tol)
+func PCGWith(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	return pcg(a, pre, b, opt, kernels{workers: 1})
 }

@@ -1,0 +1,120 @@
+package solve
+
+import (
+	"math"
+
+	"pdn3d/internal/par"
+	"pdn3d/internal/sparse"
+)
+
+// Kernel sharding thresholds. Systems below kernelMinN run the plain
+// serial loops; at or above it, reductions switch to a fixed block
+// partition (kernelBlock entries per block, partial sums combined in block
+// order) executed on a bounded worker pool. Because the partition depends
+// only on the vector length — never on the worker count — every result is
+// bit-for-bit identical for any -workers setting, including 1.
+const (
+	kernelMinN  = 8192
+	kernelBlock = 4096
+)
+
+// kernels bundles the BLAS-1/SpMV primitives of one solver instance with
+// its worker budget.
+type kernels struct {
+	workers int
+}
+
+func (k kernels) sharded(n int) bool { return n >= kernelMinN }
+
+// dot computes a·b.
+func (k kernels) dot(a, b []float64) float64 {
+	n := len(a)
+	if !k.sharded(n) {
+		return dot(a, b)
+	}
+	partial := make([]float64, (n+kernelBlock-1)/kernelBlock)
+	par.Blocks(k.workers, n, kernelBlock, func(blk, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		partial[blk] = s
+	})
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// norm2 computes ‖a‖₂.
+func (k kernels) norm2(a []float64) float64 { return math.Sqrt(k.dot(a, a)) }
+
+// axpy computes y += alpha·x.
+func (k kernels) axpy(y []float64, alpha float64, x []float64) {
+	n := len(y)
+	if !k.sharded(n) {
+		axpy(y, alpha, x)
+		return
+	}
+	par.Blocks(k.workers, n, kernelBlock, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// axpyNormSq fuses the residual update r += alpha·ap with the squared-norm
+// accumulation Σ r'² in a single pass, eliminating the separate norm2(r)
+// sweep every CG iteration needs for its convergence check.
+func (k kernels) axpyNormSq(y []float64, alpha float64, x []float64) float64 {
+	n := len(y)
+	if !k.sharded(n) {
+		var s float64
+		for i := range y {
+			y[i] += alpha * x[i]
+			s += y[i] * y[i]
+		}
+		return s
+	}
+	partial := make([]float64, (n+kernelBlock-1)/kernelBlock)
+	par.Blocks(k.workers, n, kernelBlock, func(blk, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+			s += y[i] * y[i]
+		}
+		partial[blk] = s
+	})
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// xpby computes p = z + beta·p (the CG direction update).
+func (k kernels) xpby(p []float64, beta float64, z []float64) {
+	n := len(p)
+	if !k.sharded(n) {
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		return
+	}
+	par.Blocks(k.workers, n, kernelBlock, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	})
+}
+
+// mulVec computes y = A·x, sharding rows over the worker pool for large
+// systems.
+func (k kernels) mulVec(a *sparse.CSR, y, x []float64) {
+	if !k.sharded(a.N) {
+		a.MulVec(y, x)
+		return
+	}
+	a.MulVecPar(y, x, k.workers, kernelBlock)
+}

@@ -1,0 +1,164 @@
+package solve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pdn3d/internal/sparse"
+)
+
+// Solver solves A·x = b for one fixed matrix bound at construction, and is
+// reusable — and safe for concurrent use — across right-hand sides. Any
+// per-matrix setup (preconditioner factorization, dense factorization)
+// happens once in the factory, which is what makes LUT builds and
+// design-space sweeps with thousands of right-hand sides tractable.
+type Solver interface {
+	// Method returns the registry name the solver was built under.
+	Method() string
+	// Solve returns x with A·x = b, with per-call tuning for the
+	// iterative methods (direct methods ignore opt).
+	Solve(b []float64, opt CGOptions) ([]float64, CGStats, error)
+}
+
+// Options selects and tunes a solver built through the registry.
+type Options struct {
+	// Method is the registry name: "cg-ic0", "cg-jacobi", or "cholesky"
+	// (plus anything registered by tests or future backends). Empty
+	// selects DefaultMethod.
+	Method string
+	// Workers bounds the worker pool the BLAS-1/SpMV kernels shard
+	// across on large systems. <= 0 selects GOMAXPROCS. Results are
+	// identical for every value (deterministic sharding).
+	Workers int
+	// CGOptions is the default per-call tuning passed to Solve by
+	// callers that hold an Options rather than separate knobs.
+	CGOptions
+}
+
+// Method names built in to the registry.
+const (
+	// MethodCGIC0 is IC(0)-preconditioned CG — the production default.
+	MethodCGIC0 = "cg-ic0"
+	// MethodCGJacobi is Jacobi-preconditioned CG — the robust fallback.
+	MethodCGJacobi = "cg-jacobi"
+	// MethodCholesky is the dense exact factorization — the golden
+	// reference for small systems (O(n³)).
+	MethodCholesky = "cholesky"
+)
+
+// DefaultMethod is used when Options.Method is empty.
+const DefaultMethod = MethodCGIC0
+
+// Factory builds a Solver for one matrix.
+type Factory func(a *sparse.CSR, opt Options) (Solver, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a solver factory under the given method name, replacing
+// any previous registration.
+func Register(method string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[method] = f
+}
+
+// Methods lists the registered method names, sorted.
+func Methods() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for m := range registry {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a solver for the matrix using the method named in opt
+// (DefaultMethod when empty).
+func New(a *sparse.CSR, opt Options) (Solver, error) {
+	method := opt.Method
+	if method == "" {
+		method = DefaultMethod
+	}
+	regMu.RLock()
+	f, ok := registry[method]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solve: unknown method %q (registered: %v)", method, Methods())
+	}
+	return f(a, opt)
+}
+
+func init() {
+	Register(MethodCGJacobi, func(a *sparse.CSR, opt Options) (Solver, error) {
+		pre, err := NewJacobi(a)
+		if err != nil {
+			return nil, err
+		}
+		return &cgSolver{method: MethodCGJacobi, a: a, pre: pre, k: kernels{workers: opt.Workers}}, nil
+	})
+	Register(MethodCGIC0, func(a *sparse.CSR, opt Options) (Solver, error) {
+		// IC(0) of an SPD matrix can still break down; mirror the PCG
+		// fallback and degrade to Jacobi scaling.
+		var pre Preconditioner
+		ic, err := NewIC(a)
+		if err == nil {
+			pre = ic
+		} else if pre, err = NewJacobi(a); err != nil {
+			return nil, err
+		}
+		return &cgSolver{method: MethodCGIC0, a: a, pre: pre, k: kernels{workers: opt.Workers}}, nil
+	})
+	Register(MethodCholesky, func(a *sparse.CSR, opt Options) (Solver, error) {
+		c, err := NewCholesky(a)
+		if err != nil {
+			return nil, err
+		}
+		return &cholSolver{a: a, c: c, k: kernels{workers: opt.Workers}}, nil
+	})
+}
+
+// cgSolver is a preconditioned-CG method bound to one matrix.
+type cgSolver struct {
+	method string
+	a      *sparse.CSR
+	pre    Preconditioner
+	k      kernels
+}
+
+func (s *cgSolver) Method() string { return s.method }
+
+func (s *cgSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	return pcg(s.a, s.pre, b, opt, s.k)
+}
+
+// cholSolver wraps the dense factorization behind the Solver interface.
+type cholSolver struct {
+	a *sparse.CSR
+	c *Cholesky
+	k kernels
+}
+
+func (s *cholSolver) Method() string { return MethodCholesky }
+
+func (s *cholSolver) Solve(b []float64, _ CGOptions) ([]float64, CGStats, error) {
+	x, err := s.c.Solve(b)
+	if err != nil {
+		return nil, CGStats{}, err
+	}
+	// Report the true relative residual so direct solves carry honest
+	// stats; one SpMV is noise next to the O(n³) factorization.
+	stats := CGStats{Converged: true}
+	if normB := s.k.norm2(b); normB > 0 {
+		r := make([]float64, s.a.N)
+		s.k.mulVec(s.a, r, x)
+		s.k.axpy(r, -1, b)
+		stats.Residual = s.k.norm2(r) / normB
+	}
+	return x, stats, nil
+}

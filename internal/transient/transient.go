@@ -181,7 +181,7 @@ func New(model *rmesh.Model, cfg Config, rhsInit []float64) (*Sim, error) {
 
 	// Initial condition: DC solve of the init state on the original G;
 	// inductor currents start at their DC values.
-	v0, _, err := model.Solve(rhsInit, solve.CGOptions{Tol: s.tol()})
+	v0, _, err := model.Solve(rhsInit, solve.Options{CGOptions: solve.CGOptions{Tol: s.tol()}})
 	if err != nil {
 		return nil, fmt.Errorf("transient: initial DC solve: %w", err)
 	}
