@@ -1,0 +1,65 @@
+// Command pdnlint runs the project's static-analysis suite: six
+// analyzers that machine-check the determinism, numerical-safety, and
+// concurrency invariants the solver stack relies on (see DESIGN.md,
+// "Static analysis layer").
+//
+// Usage:
+//
+//	go run ./cmd/pdnlint ./...
+//
+// Findings print one per line as file:line:col: message (analyzer); the
+// exit status is 1 if there are any, so CI can gate on it. A finding
+// that is a deliberate, justified exception can be waived in place:
+//
+//	//pdnlint:ignore <analyzer> <reason>
+//
+// Stale or malformed waivers are themselves findings (unusedsuppress).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdn3d/internal/lint"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns); err != nil {
+		fmt.Fprintln(os.Stderr, "pdnlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		return err
+	}
+	findings, err := lint.Run(prog, lint.Suite())
+	if err != nil {
+		return err
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: pdnlint [packages]\n\nAnalyzers:\n")
+	for _, a := range lint.Suite() {
+		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress a finding with //pdnlint:ignore <analyzer> <reason>.\n")
+	flag.PrintDefaults()
+}

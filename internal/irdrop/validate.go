@@ -34,6 +34,7 @@ func Validate(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powerma
 	state memstate.State, io float64) (*Validation, error) {
 
 	run := func(s *pdn.Spec) (float64, time.Duration, int, error) {
+		//pdnlint:ignore walltime the validation harness measures speedup on purpose; timing is reported beside accuracy, never folded into results
 		start := time.Now()
 		a, err := New(s, dramPower, logicPower)
 		if err != nil {

@@ -1,0 +1,74 @@
+// Package analysis defines the analyzer interface for pdnlint, the
+// project's static-analysis suite. It mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) so the
+// suite can migrate onto the upstream multichecker if that dependency is
+// ever vendored, but it is implemented entirely on the standard library:
+// the container image pins the module to a zero-dependency go.mod, so the
+// loader and runner (internal/lint/load, internal/lint) stand in for
+// go/packages and the upstream driver.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check. Analyzers are stateless; all
+// per-package state flows through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pdnlint:ignore suppression directives. It must be a valid
+	// identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by `pdnlint -help`.
+	Doc string
+	// Run inspects a single package and reports diagnostics via
+	// pass.Report. A nil Run marks a driver-implemented analyzer (the
+	// unusedsuppress check, which needs visibility across the whole
+	// suite's diagnostics and so lives in the runner).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Path is the package's import path. For test fixtures loaded from an
+	// analysistest testdata tree it is the directory path relative to
+	// testdata/src (e.g. "a" or "cmd/app").
+	Path string
+	// Fset maps token positions for all Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, including in-package
+	// _test.go files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types, constant values, and uses for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos is the primary position of the finding.
+	Pos token.Pos
+	// Message describes the violation and the expected remedy.
+	Message string
+}
+
+// Reportf constructs and reports a Diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Several
+// analyzers relax their invariant inside tests (tests may spawn bare
+// goroutines to provoke races, compare floats they just constructed,
+// and so on).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return IsTestFilename(p.Fset.Position(pos).Filename)
+}

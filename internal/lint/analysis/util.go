@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// IsTestFilename reports whether name (a full path or base name) is a Go
+// test file.
+func IsTestFilename(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// PathHasSegment reports whether importPath contains seg as a complete
+// "/"-separated segment (e.g. PathHasSegment("pdn3d/cmd/irsim", "cmd")).
+func PathHasSegment(importPath, seg string) bool {
+	for _, s := range strings.Split(importPath, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the called package-level function or method of a
+// call expression, or nil if the callee is not a declared function (a
+// builtin, a function literal, a conversion, or a function-typed
+// variable).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (not a method, and not a value of function type).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

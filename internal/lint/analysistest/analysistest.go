@@ -1,0 +1,164 @@
+// Package analysistest runs pdnlint analyzers over fixture packages and
+// checks their diagnostics against // want expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which the
+// zero-dependency module cannot vendor).
+//
+// Fixtures live under <testdata>/src/<pkg>/ and are plain Go packages.
+// A line that should trigger a diagnostic carries a trailing
+// expectation comment holding one quoted regular expression per
+// expected diagnostic:
+//
+//	rand.Float64() // want `unseeded`
+//
+// Both backquoted and double-quoted forms are accepted. Expectations
+// match any analyzer in the suite under test; a run fails if a
+// diagnostic has no matching expectation on its line or an expectation
+// matches no diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pdn3d/internal/lint"
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/load"
+)
+
+// Run loads the fixture packages named by pkgs from testdata/src,
+// applies the analyzers (suppression directives included, exactly as in
+// CI), and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := load.LoadDir(filepath.Join(testdata, "src"), pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := lint.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	want := map[string][]*expectation{}
+	var files []string
+	for _, pkg := range prog.Packages {
+		names := make([]string, 0, len(pkg.Src))
+		for name := range pkg.Src {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			exps, err := parseExpectations(name, pkg.Src[name])
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			want[name] = append(want[name], exps...)
+			files = append(files, name)
+		}
+	}
+
+	for _, f := range findings {
+		if !claim(want[f.Pos.Filename], f.Pos.Line, f.Message) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, name := range files {
+		for _, e := range want[name] {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+			}
+		}
+	}
+}
+
+// expectation is one quoted pattern from a // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation on the line whose pattern
+// matches message, reporting whether one existed.
+func claim(exps []*expectation, line int, message string) bool {
+	for _, e := range exps {
+		if e.line == line && !e.matched && e.re.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+const marker = "// want "
+
+// parseExpectations scans raw source for // want comments. Scanning
+// text rather than the comment AST lets an expectation share a line
+// with a //pdnlint:ignore directive (two // comments cannot otherwise
+// coexist on one line).
+func parseExpectations(file string, src []byte) ([]*expectation, error) {
+	var out []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		at := strings.Index(line, marker)
+		if at < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(line[at+len(marker):])
+		pats, err := quotedPatterns(rest)
+		if err != nil || len(pats) == 0 {
+			return nil, fmt.Errorf("%s:%d: malformed // want comment (%v)", file, i+1, err)
+		}
+		for _, p := range pats {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad expectation regexp: %v", file, i+1, err)
+			}
+			out = append(out, &expectation{file: file, line: i + 1, re: re})
+		}
+	}
+	return out, nil
+}
+
+// quotedPatterns splits `"re" "re2"` / “ `re` “ sequences.
+func quotedPatterns(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			end := 0
+			for j := 1; j < len(s); j++ {
+				if s[j] == '\\' {
+					j++
+				} else if s[j] == '"' {
+					end = j
+					break
+				}
+			}
+			if end == 0 {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+	}
+	return out, nil
+}

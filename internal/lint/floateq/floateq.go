@@ -1,0 +1,63 @@
+// Package floateq flags == and != between floating-point expressions in
+// non-test code. Accumulated rounding makes exact float equality a
+// latent bug in analysis paths (the paper's validation discipline is
+// tolerance-based: 1.3 % vs. EPS, RMSE < 0.135, never exact match); use
+// the epsilon helpers in internal/units instead. Comparison against an
+// exact zero constant is allowed — guarding a division or detecting an
+// unset value with `v == 0` is well-defined.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"pdn3d/internal/lint/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on floating-point operands outside tests " +
+		"(zero-constant comparisons allowed); use units.ApproxEqual",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x := pass.TypesInfo.Types[be.X]
+			y := pass.TypesInfo.Types[be.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			if isZeroConst(x.Value) || isZeroConst(y.Value) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use units.ApproxEqual (rounding makes exact equality unreliable)", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(v constant.Value) bool {
+	return v != nil && (v.Kind() == constant.Int || v.Kind() == constant.Float) && constant.Sign(v) == 0
+}

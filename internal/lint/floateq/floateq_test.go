@@ -1,0 +1,13 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{floateq.Analyzer}, "a")
+}

@@ -1,0 +1,37 @@
+package a
+
+// eq compares floats exactly and must be flagged.
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// neq is the != form.
+func neq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// mixedConst compares against a nonzero constant.
+func mixedConst(a float64) bool {
+	return a == 0.5 // want `floating-point == comparison`
+}
+
+// zeroGuard compares against an exact zero constant, which is allowed.
+func zeroGuard(a float64) bool {
+	return a == 0
+}
+
+// zeroFloatGuard uses the spelled-out zero literal.
+func zeroFloatGuard(a float64) bool {
+	return a != 0.0
+}
+
+// ints compares integers; not a float comparison.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// waived carries a justified suppression.
+func waived(a, b float64) bool {
+	//pdnlint:ignore floateq comparing interned table keys that are copied, never recomputed
+	return a == b
+}

@@ -1,0 +1,6 @@
+package a
+
+// eqInTest is exempt: tests may compare floats they just constructed.
+func eqInTest(a, b float64) bool {
+	return a == b
+}

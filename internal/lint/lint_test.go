@@ -1,0 +1,66 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdn3d/internal/lint"
+)
+
+func TestSuite(t *testing.T) {
+	suite := lint.Suite()
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil && a.Name != "unusedsuppress" {
+			t.Errorf("analyzer %q has no Run and is not runner-implemented", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the in-tree mirror of the CI lint gate: the whole
+// module must pass its own analyzer suite. Any new violation fails
+// `go test ./...` even where CI is not running.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-tree lint in -short mode")
+	}
+	prog, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	findings, err := lint.Run(prog, lint.Suite())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestFindingString pins the file:line:col output format CI greps.
+func TestFindingString(t *testing.T) {
+	prog, err := lint.Load("../..", "./internal/lint/suppress")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	findings, err := lint.Run(prog, lint.Suite())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		s := f.String()
+		if !strings.Contains(s, ".go:") || !strings.HasSuffix(s, "("+f.Analyzer+")") {
+			t.Errorf("malformed finding rendering: %q", s)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package load
+
+import (
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir type-checks analysistest fixture packages. srcRoot is a
+// testdata "src" directory; each pkgPath names a package by its
+// directory relative to srcRoot (e.g. "a", "cmd/app"). Fixture packages
+// may import each other by those relative paths and may import standard
+// library or module packages, which are resolved with `go list` run from
+// the enclosing module (found by walking up from srcRoot to a go.mod).
+func LoadDir(srcRoot string, pkgPaths ...string) (*Program, error) {
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	modDir, err := moduleRoot(abs)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset:        token.NewFileSet(),
+		dir:         modDir,
+		meta:        map[string]*listPkg{},
+		built:       map[string]*Package{},
+		building:    map[string]bool{},
+		roots:       map[string]bool{},
+		fixtureRoot: abs,
+	}
+	prog := &Program{Fset: ld.fset}
+	for _, path := range pkgPaths {
+		pkg, err := ld.pkg(path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// fixturePkg builds the package at the fixture directory srcRoot/path,
+// or returns nil if no such directory exists (the import is external).
+func (ld *loader) fixturePkg(path string) (*Package, error) {
+	if ld.fixtureRoot == "" || !fs.ValidPath(path) {
+		return nil, nil
+	}
+	dir := filepath.Join(ld.fixtureRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	sort.Strings(files)
+	ld.roots[path] = true // retain comments and sources for expectations
+	return ld.check(path, dir, files)
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// fetchMeta resolves an import path that was absent from the initial
+// `go list` closure (e.g. a standard-library package imported only by a
+// fixture) by listing it and its dependencies from the module directory.
+func (ld *loader) fetchMeta(path string) error {
+	pkgs, err := goList(ld.dir, []string{path})
+	if err != nil {
+		return err
+	}
+	for _, p := range pkgs {
+		if ld.meta[p.ImportPath] == nil {
+			ld.meta[p.ImportPath] = p
+		}
+	}
+	if ld.meta[path] == nil {
+		return fmt.Errorf("load: go list did not resolve import %q", path)
+	}
+	return nil
+}

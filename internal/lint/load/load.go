@@ -1,0 +1,310 @@
+// Package load type-checks Go packages for pdnlint without any
+// dependency outside the standard library. It shells out to `go list`
+// for build-system metadata (package directories, build-constraint
+// filtered file lists, import graphs) and then parses and type-checks
+// every package from source with go/parser and go/types, resolving
+// imports lazily in dependency order. This replaces
+// golang.org/x/tools/go/packages, which the zero-dependency module
+// cannot vendor.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path (or, for analysistest
+	// fixtures, its directory relative to the testdata src root).
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files is the parsed syntax, comments included. For root packages
+	// it includes in-package _test.go files.
+	Files []*ast.File
+	// Types and Info hold the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+	// Src maps each file name (as recorded in the FileSet) to its
+	// source bytes, used for suppression-directive column checks and
+	// the analysistest expectation scanner.
+	Src map[string][]byte
+}
+
+// Program is a load result: the root packages requested for analysis,
+// sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Error        *struct{ Err string }
+}
+
+const listFields = "-json=ImportPath,Dir,Name,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Error"
+
+// goList runs `go list -e -deps` in dir for the given patterns and
+// decodes the JSON package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", listFields, "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loader lazily type-checks packages against go list metadata.
+type loader struct {
+	fset     *token.FileSet
+	dir      string              // module directory for follow-up go list calls
+	meta     map[string]*listPkg // import path -> metadata
+	built    map[string]*Package // import path -> completed package
+	building map[string]bool     // cycle detection
+	roots    map[string]bool     // import paths whose test files join the package
+	// fixtureRoot, when set, is an analysistest testdata/src directory
+	// consulted before go list metadata (see LoadDir).
+	fixtureRoot string
+}
+
+// Load type-checks the packages matching patterns (resolved by `go list`
+// in dir) plus, transitively, everything they import. Root packages are
+// checked with their in-package test files, and external test packages
+// (package foo_test) are returned as additional roots named
+// "<path>_test".
+func Load(dir string, patterns ...string) (*Program, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		dir:      dir,
+		meta:     map[string]*listPkg{},
+		built:    map[string]*Package{},
+		building: map[string]bool{},
+		roots:    map[string]bool{},
+	}
+	var rootPaths []string
+	for _, p := range pkgs {
+		ld.meta[p.ImportPath] = p
+		if !p.DepOnly && !p.Standard {
+			ld.roots[p.ImportPath] = true
+			rootPaths = append(rootPaths, p.ImportPath)
+		}
+	}
+	if len(rootPaths) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+	if err := ld.ensureTestDeps(rootPaths); err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: ld.fset}
+	for _, path := range rootPaths {
+		pkg, err := ld.pkg(path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		xt, err := ld.xtestPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		if xt != nil {
+			prog.Packages = append(prog.Packages, xt)
+		}
+	}
+	return prog, nil
+}
+
+// ensureTestDeps closes the metadata map over test-only imports: `go
+// list -deps` (without -test) omits packages imported only by _test.go
+// files, so fetch the missing ones with follow-up list calls.
+func (ld *loader) ensureTestDeps(rootPaths []string) error {
+	for {
+		missing := map[string]bool{}
+		for _, root := range rootPaths {
+			m := ld.meta[root]
+			for _, imps := range [][]string{m.TestImports, m.XTestImports} {
+				for _, imp := range imps {
+					if imp != "C" && imp != "unsafe" && ld.meta[imp] == nil {
+						missing[imp] = true
+					}
+				}
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		var paths []string
+		for p := range missing {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		pkgs, err := goList(ld.dir, paths)
+		if err != nil {
+			return err
+		}
+		for _, p := range pkgs {
+			if ld.meta[p.ImportPath] == nil {
+				ld.meta[p.ImportPath] = p
+			}
+		}
+		for _, p := range paths {
+			if ld.meta[p] == nil {
+				return fmt.Errorf("load: go list did not resolve test import %q", p)
+			}
+		}
+	}
+}
+
+// Import implements types.Importer by type-checking path on demand.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	pkg, err := ld.pkg(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// pkg returns the type-checked package for an import path, building it
+// (and its imports, recursively) on first use.
+func (ld *loader) pkg(path string) (*Package, error) {
+	if pkg := ld.built[path]; pkg != nil {
+		return pkg, nil
+	}
+	if ld.building[path] {
+		return nil, fmt.Errorf("load: import cycle through %q (a test file of one root imports another root that imports it back; pdnlint's loader does not split test variants)", path)
+	}
+	ld.building[path] = true
+	fixture, err := ld.fixturePkg(path)
+	delete(ld.building, path)
+	if err != nil {
+		return nil, err
+	}
+	if fixture != nil {
+		ld.built[path] = fixture
+		return fixture, nil
+	}
+	m := ld.meta[path]
+	if m == nil {
+		if err := ld.fetchMeta(path); err != nil {
+			return nil, err
+		}
+		m = ld.meta[path]
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("load: %s: %s", path, m.Error.Err)
+	}
+	ld.building[path] = true
+	defer delete(ld.building, path)
+
+	files := m.GoFiles
+	if ld.roots[path] {
+		files = append(append([]string{}, m.GoFiles...), m.TestGoFiles...)
+	}
+	pkg, err := ld.check(path, m.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	ld.built[path] = pkg
+	return pkg, nil
+}
+
+// xtestPkg builds the external test package (package foo_test) for a
+// root, or returns nil if the root has none.
+func (ld *loader) xtestPkg(path string) (*Package, error) {
+	m := ld.meta[path]
+	if m == nil || len(m.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	return ld.check(path+"_test", m.Dir, m.XTestGoFiles)
+}
+
+// check parses and type-checks one package from the named files in dir.
+// Comments are retained only for root packages — analyzers and the
+// suppression scanner never see dependency syntax.
+func (ld *loader) check(path, dir string, fileNames []string) (*Package, error) {
+	mode := parser.SkipObjectResolution
+	isRoot := ld.roots[path] || strings.HasSuffix(path, "_test") && ld.roots[strings.TrimSuffix(path, "_test")]
+	if isRoot {
+		mode |= parser.ParseComments
+	}
+	pkg := &Package{ImportPath: path, Dir: dir, Src: map[string][]byte{}}
+	for _, name := range fileNames {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		f, err := parser.ParseFile(ld.fset, full, src, mode)
+		if err != nil {
+			return nil, fmt.Errorf("load: parsing %s: %v", full, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		if isRoot {
+			pkg.Src[full] = src
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := &types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", "amd64"),
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	tpkg, err := conf.Check(path, ld.fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}

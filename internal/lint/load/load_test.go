@@ -1,0 +1,84 @@
+package load_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"pdn3d/internal/lint/load"
+)
+
+// TestLoadModulePackage type-checks a real module package through the
+// go-list-backed loader, test files included.
+func TestLoadModulePackage(t *testing.T) {
+	prog, err := load.Load("../../..", "./internal/units")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("got %d packages, want 1", len(prog.Packages))
+	}
+	pkg := prog.Packages[0]
+	if pkg.ImportPath != "pdn3d/internal/units" {
+		t.Errorf("ImportPath = %q", pkg.ImportPath)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("ApproxEqual") == nil {
+		t.Error("package scope is missing ApproxEqual")
+	}
+	var haveTest bool
+	for _, f := range pkg.Files {
+		name := prog.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			haveTest = true
+		}
+		if _, ok := pkg.Src[name]; !ok {
+			t.Errorf("no source retained for root file %s", name)
+		}
+	}
+	if !haveTest {
+		t.Error("in-package test files were not loaded")
+	}
+	if pkg.Info == nil || len(pkg.Info.Uses) == 0 {
+		t.Error("type info not populated")
+	}
+}
+
+// TestLoadXTest checks that external test packages come back as
+// separate roots.
+func TestLoadXTest(t *testing.T) {
+	prog, err := load.Load("../../..", "./internal/lint/suppress")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var paths []string
+	for _, p := range prog.Packages {
+		paths = append(paths, p.ImportPath)
+	}
+	want := []string{"pdn3d/internal/lint/suppress", "pdn3d/internal/lint/suppress_test"}
+	if strings.Join(paths, ",") != strings.Join(want, ",") {
+		t.Errorf("packages = %v, want %v", paths, want)
+	}
+}
+
+// TestLoadBadPattern surfaces go list failures as errors.
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := load.Load("../../..", "./does/not/exist"); err == nil {
+		t.Error("Load succeeded on a nonexistent pattern")
+	}
+}
+
+// TestPositionsResolve guards the FileSet plumbing: every file's
+// position must map back to a real name.
+func TestPositionsResolve(t *testing.T) {
+	prog, err := load.Load("../../..", "./internal/units")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			if pos := prog.Fset.Position(f.Pos()); pos.Filename == "" || pos == (token.Position{}) {
+				t.Errorf("unresolvable position for a file in %s", pkg.ImportPath)
+			}
+		}
+	}
+}

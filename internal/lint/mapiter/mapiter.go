@@ -1,0 +1,141 @@
+// Package mapiter flags map iteration whose order can leak into
+// results. Go randomizes map iteration order on purpose, so a `for
+// range` over a map that appends to a slice or prints as it goes
+// produces a different ordering every run — a direct violation of the
+// solver stack's bit-identical-results contract (same inputs, any
+// worker count, same bytes out). The loop is accepted when a later
+// statement in the same block re-establishes a deterministic order by
+// sorting, which covers the common collect-then-sort idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k) // ok: sorted below
+//	}
+//	sort.Strings(keys)
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdn3d/internal/lint/analysis"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flags for-range over a map that appends or prints in iteration order " +
+		"without a following sort, guarding the bit-identical-results contract",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMap(pass.TypesInfo.Types[rs.X].Type) {
+					continue
+				}
+				what := orderSensitiveUse(pass, rs.Body)
+				if what == "" || sortedLater(pass, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.For,
+					"map iteration %s in randomized key order; sort the keys (or the result) to keep output deterministic",
+					what)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list of any node that carries one.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderSensitiveUse reports how the loop body makes iteration order
+// observable: "appends" for slice appends, "prints" for output calls.
+// It returns "" for order-insensitive bodies (aggregation, building
+// another map, deletes).
+func orderSensitiveUse(pass *analysis.Pass, body *ast.BlockStmt) string {
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "append":
+					what = "appends"
+				case "print", "println":
+					if what == "" {
+						what = "prints"
+					}
+				}
+				return true
+			}
+		}
+		if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "fmt" && isOutputFunc(fn.Name()) && what == "" {
+				what = "prints"
+			}
+		}
+		return true
+	})
+	return what
+}
+
+func isOutputFunc(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// sortedLater reports whether any following statement in the block calls
+// into package sort or slices, which re-establishes a deterministic
+// order for whatever the loop accumulated.
+func sortedLater(pass *analysis.Pass, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sort", "slices":
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

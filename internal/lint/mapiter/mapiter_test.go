@@ -1,0 +1,13 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{mapiter.Analyzer}, "a")
+}

@@ -1,0 +1,60 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendNoSort leaks map order into the returned slice.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends in randomized key order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendThenSort is the sanctioned collect-then-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printsUnsorted emits output in map order.
+func printsUnsorted(m map[string]int) {
+	for k, v := range m { // want `map iteration prints in randomized key order`
+		fmt.Println(k, v)
+	}
+}
+
+// aggregate is order-insensitive and must not be flagged.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange ranges over a slice, which iterates in index order.
+func sliceRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// waived carries a justified suppression.
+func waived(m map[string]int) []string {
+	var keys []string
+	//pdnlint:ignore mapiter keys feed a set membership probe, order is irrelevant
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

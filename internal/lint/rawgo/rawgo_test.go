@@ -1,0 +1,13 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/rawgo"
+)
+
+func TestRawgo(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{rawgo.Analyzer}, "a", "internal/par")
+}

@@ -1,0 +1,17 @@
+package a
+
+// spawn launches an unbounded goroutine and must be flagged.
+func spawn(f func()) {
+	go f() // want `bare go statement`
+}
+
+// waived carries a justified suppression.
+func waived(f func()) {
+	//pdnlint:ignore rawgo one-shot fire-and-forget logger, bounded by construction
+	go f()
+}
+
+// call is plain synchronous code.
+func call(f func()) {
+	f()
+}

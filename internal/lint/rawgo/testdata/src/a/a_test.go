@@ -1,0 +1,6 @@
+package a
+
+// spawnInTest is exempt: tests may spawn goroutines to provoke races.
+func spawnInTest(f func()) {
+	go f()
+}

@@ -1,0 +1,10 @@
+// Package par stands in for the real internal/par: the one place
+// allowed to start goroutines.
+package par
+
+// Pool is exempt by import path.
+func Pool(workers int, f func()) {
+	for i := 0; i < workers; i++ {
+		go f()
+	}
+}

@@ -1,0 +1,66 @@
+// Package seededrand forbids the global math/rand generators. Workload
+// synthesis and test-matrix generation must be reproducible run to run,
+// so every random stream needs an explicit, auditable seed:
+//
+//	rng := rand.New(rand.NewSource(seed))
+//
+// Top-level convenience calls (rand.Float64, rand.Intn, …) draw from the
+// shared process-global source, whose sequence depends on whatever else
+// consumed it — and in math/rand/v2 cannot be seeded at all. The check
+// applies to tests too: a test that flakes only on some interleavings of
+// the global stream is the least reproducible kind.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdn3d/internal/lint/analysis"
+)
+
+// Analyzer is the seededrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "flags top-level math/rand functions (rand.Float64, rand.Intn, …); " +
+		"use an explicitly seeded rand.New(rand.NewSource(seed))",
+	Run: run,
+}
+
+// constructors are the package-level functions that build or feed
+// explicitly seeded generators; they are the remedy, not the disease.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are the seeded path
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the unseeded process-global source; use rand.New(rand.NewSource(seed)) for reproducible streams",
+				path, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

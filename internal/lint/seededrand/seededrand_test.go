@@ -1,0 +1,13 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{seededrand.Analyzer}, "a")
+}

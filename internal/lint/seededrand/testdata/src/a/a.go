@@ -1,0 +1,25 @@
+package a
+
+import "math/rand"
+
+// global draws from the process-global source and must be flagged.
+func global() float64 {
+	return rand.Float64() // want `math/rand.Float64 draws from the unseeded process-global source`
+}
+
+// globalIntn is another top-level convenience call.
+func globalIntn() int {
+	return rand.Intn(10) // want `math/rand.Intn draws from the unseeded process-global source`
+}
+
+// seeded is the sanctioned per-use generator.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// waived carries a justified suppression.
+func waived() int {
+	//pdnlint:ignore seededrand jitter for a retry backoff, reproducibility not needed
+	return rand.Intn(100)
+}

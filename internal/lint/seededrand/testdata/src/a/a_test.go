@@ -1,0 +1,8 @@
+package a
+
+import "math/rand"
+
+// globalInTest is still flagged: unseeded streams make tests flaky.
+func globalInTest() float64 {
+	return rand.Float64() // want `math/rand.Float64 draws from the unseeded process-global source`
+}

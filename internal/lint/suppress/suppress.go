@@ -1,0 +1,113 @@
+// Package suppress implements the //pdnlint:ignore directive shared by
+// every pdnlint analyzer.
+//
+// A directive has the form
+//
+//	//pdnlint:ignore <analyzer> <reason>
+//
+// and suppresses diagnostics of the named analyzer on one target line:
+// the directive's own line when the comment trails code, or the next
+// line when the comment stands alone. The reason is mandatory — a
+// suppression with no justification is itself a finding. Directives that
+// suppress nothing (stale after a refactor, or naming an unknown
+// analyzer) are reported by the unusedsuppress check so dead waivers
+// cannot accumulate.
+package suppress
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix starts every suppression directive.
+const Prefix = "//pdnlint:ignore"
+
+// Directive is one parsed //pdnlint:ignore comment.
+type Directive struct {
+	// Pos is the comment's position, used when reporting the directive
+	// itself (malformed, stale, or unknown-analyzer findings).
+	Pos token.Pos
+	// Analyzer is the analyzer name the directive waives.
+	Analyzer string
+	// Reason is the justification text. Empty marks a malformed
+	// directive; malformed directives never suppress anything.
+	Reason string
+	// File is the file name the directive appears in.
+	File string
+	// TargetLine is the line whose diagnostics the directive waives.
+	TargetLine int
+	// Used records whether the directive suppressed at least one
+	// diagnostic in this run.
+	Used bool
+}
+
+// ParseFile extracts the directives of one parsed file. src is the
+// file's source, used to decide whether a directive trails code on its
+// line (target = same line) or stands alone (target = next line).
+func ParseFile(fset *token.FileSet, f *ast.File, src []byte) []*Directive {
+	var out []*Directive
+	lines := strings.Split(string(src), "\n")
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			if !strings.HasPrefix(c.Text, Prefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &Directive{
+				Pos:        c.Pos(),
+				File:       pos.Filename,
+				TargetLine: pos.Line,
+			}
+			rest := strings.TrimPrefix(c.Text, Prefix)
+			// A directive only counts if the prefix is the whole
+			// comment word ("//pdnlint:ignoreX" is not a directive).
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			// Strip an analysistest expectation sharing the comment, so
+			// fixtures can pair a directive with a // want on one line.
+			if i := strings.Index(rest, "// want "); i >= 0 {
+				rest = rest[:i]
+			}
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				d.Analyzer = fields[0]
+			}
+			if len(fields) >= 2 {
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			if standsAlone(lines, pos.Line, pos.Column) {
+				d.TargetLine = pos.Line + 1
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether only whitespace precedes column col on
+// 1-based line number line.
+func standsAlone(lines []string, line, col int) bool {
+	if line-1 < 0 || line-1 >= len(lines) {
+		return false
+	}
+	prefix := lines[line-1]
+	if col-1 < len(prefix) {
+		prefix = prefix[:col-1]
+	}
+	return strings.TrimSpace(prefix) == ""
+}
+
+// Match finds the directive (if any) that suppresses a diagnostic of the
+// named analyzer at file:line, marking it used. Malformed directives
+// (missing reason) never match.
+func Match(dirs []*Directive, analyzer, file string, line int) *Directive {
+	for _, d := range dirs {
+		if d.Analyzer == analyzer && d.Reason != "" && d.File == file && d.TargetLine == line {
+			d.Used = true
+			return d
+		}
+	}
+	return nil
+}

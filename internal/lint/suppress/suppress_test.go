@@ -1,0 +1,85 @@
+package suppress_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"pdn3d/internal/lint/suppress"
+)
+
+const src = `package p
+
+func a() {
+	x := 1 //pdnlint:ignore floateq trailing comment waives its own line
+	_ = x
+	//pdnlint:ignore walltime standalone comment waives the next line
+	y := 2
+	_ = y
+	//pdnlint:ignore rawgo stripped tail // want "never seen"
+	z := 3
+	_ = z
+	//pdnlint:ignore seededrand
+	w := 4
+	_ = w
+	//pdnlint:ignoreX not a directive at all
+}
+`
+
+func parse(t *testing.T) (*token.FileSet, []*suppress.Directive) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, suppress.ParseFile(fset, f, []byte(src))
+}
+
+func TestParseFile(t *testing.T) {
+	_, dirs := parse(t)
+	want := []struct {
+		analyzer, reason string
+		target           int
+	}{
+		{"floateq", "trailing comment waives its own line", 4},
+		{"walltime", "standalone comment waives the next line", 7},
+		{"rawgo", "stripped tail", 10},
+		{"seededrand", "", 13}, // malformed: no reason
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("got %d directives, want %d: %+v", len(dirs), len(want), dirs)
+	}
+	for i, w := range want {
+		d := dirs[i]
+		if d.Analyzer != w.analyzer || d.Reason != w.reason || d.TargetLine != w.target {
+			t.Errorf("directive %d = {%s %q line %d}, want {%s %q line %d}",
+				i, d.Analyzer, d.Reason, d.TargetLine, w.analyzer, w.reason, w.target)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	_, dirs := parse(t)
+
+	if d := suppress.Match(dirs, "floateq", "p.go", 4); d == nil {
+		t.Error("trailing directive did not match its own line")
+	} else if !d.Used {
+		t.Error("matched directive not marked used")
+	}
+	if suppress.Match(dirs, "floateq", "p.go", 5) != nil {
+		t.Error("trailing directive matched the following line")
+	}
+	if suppress.Match(dirs, "walltime", "p.go", 7) == nil {
+		t.Error("standalone directive did not match the next line")
+	}
+	if suppress.Match(dirs, "walltime", "p.go", 6) != nil {
+		t.Error("standalone directive matched its own line")
+	}
+	if suppress.Match(dirs, "rawgo", "other.go", 10) != nil {
+		t.Error("directive matched a different file")
+	}
+	if suppress.Match(dirs, "seededrand", "p.go", 13) != nil {
+		t.Error("malformed directive (no reason) suppressed a diagnostic")
+	}
+}

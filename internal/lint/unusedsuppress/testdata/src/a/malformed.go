@@ -1,0 +1,10 @@
+package a
+
+import "time"
+
+// malformed omits the mandatory reason; a waiver with no justification
+// suppresses nothing.
+func malformed() time.Time {
+	//pdnlint:ignore walltime // want `malformed suppression`
+	return time.Now() // want `time.Now\(\) in library code`
+}

@@ -1,0 +1,9 @@
+package a
+
+// stale waives a diagnostic that no longer exists — the time.Now() this
+// directive once covered was refactored away.
+//
+//pdnlint:ignore walltime covered a timing call removed long ago // want `unused suppression: no walltime diagnostic`
+func stale() int {
+	return 1
+}

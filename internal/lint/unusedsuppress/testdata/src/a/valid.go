@@ -1,0 +1,10 @@
+package a
+
+import "time"
+
+// validWaiver suppresses a real walltime diagnostic, so the directive
+// is used and produces no finding of its own.
+func validWaiver() time.Time {
+	//pdnlint:ignore walltime fixture exercises a live, justified waiver
+	return time.Now()
+}

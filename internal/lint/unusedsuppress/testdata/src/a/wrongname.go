@@ -1,0 +1,10 @@
+package a
+
+import "time"
+
+// wrongName misspells the analyzer, so the waiver never engages: the
+// directive is reported AND the original diagnostic still fires.
+func wrongName() time.Time {
+	//pdnlint:ignore waltime typo in analyzer name // want `suppression names unknown analyzer "waltime"`
+	return time.Now() // want `time.Now\(\) in library code`
+}

@@ -1,0 +1,22 @@
+// Package unusedsuppress validates //pdnlint:ignore directives. A
+// suppression is a standing waiver of an invariant; once the code it
+// waived is refactored away the directive must go too, or the waiver
+// silently widens. This check reports directives that are malformed
+// (missing the mandatory reason), name an analyzer that does not exist,
+// or no longer match any diagnostic.
+//
+// Unlike the other checks this one needs to see every analyzer's
+// diagnostics after suppression matching, so its logic lives in the
+// runner (internal/lint.Run); the Analyzer here is the name under which
+// those findings are reported and has no Run of its own.
+package unusedsuppress
+
+import "pdn3d/internal/lint/analysis"
+
+// Analyzer is the unusedsuppress check, implemented by the lint runner.
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedsuppress",
+	Doc: "reports //pdnlint:ignore directives that are malformed, name an " +
+		"unknown analyzer, or no longer suppress any diagnostic",
+	Run: nil,
+}

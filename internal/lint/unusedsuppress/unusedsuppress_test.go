@@ -1,0 +1,15 @@
+package unusedsuppress_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint"
+	"pdn3d/internal/lint/analysistest"
+)
+
+// TestUnusedsuppress runs the full suite: the unusedsuppress check is
+// implemented by the runner and needs the other analyzers' diagnostics
+// to decide which directives are live.
+func TestUnusedsuppress(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Suite(), "a")
+}

@@ -1,0 +1,19 @@
+package a
+
+import "time"
+
+// stamp reads the wall clock in library code and must be flagged.
+func stamp() time.Time {
+	return time.Now() // want `time.Now\(\) in library code`
+}
+
+// waived carries a justified suppression.
+func waived() time.Time {
+	//pdnlint:ignore walltime harness timing, reported beside results and never folded in
+	return time.Now()
+}
+
+// elapsed takes the instant as an argument, keeping the clock at the edge.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}

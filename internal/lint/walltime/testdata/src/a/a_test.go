@@ -1,0 +1,8 @@
+package a
+
+import "time"
+
+// stampInTest is exempt.
+func stampInTest() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Command app stands in for a CLI entry point, where progress timing is
+// allowed.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}

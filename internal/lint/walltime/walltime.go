@@ -1,0 +1,42 @@
+// Package walltime keeps wall-clock reads out of result paths. A
+// time.Now() in analysis code is either dead weight or — worse — a
+// timestamp that leaks into cache keys, reports, or generated tables,
+// breaking run-to-run byte identity. CLI entry points under cmd/ may
+// time themselves for progress reporting, and test files are exempt;
+// deliberate timing inside validation harnesses carries a
+// //pdnlint:ignore walltime waiver with its justification.
+package walltime
+
+import (
+	"go/ast"
+
+	"pdn3d/internal/lint/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "flags time.Now() outside cmd/ and _test.go files, " +
+		"keeping wall-clock time out of result paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathHasSegment(pass.Path, "cmd") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Now") && !pass.IsTestFile(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"time.Now() in library code; wall-clock time must not reach result paths (cmd/ and tests are exempt)")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{walltime.Analyzer}, "a", "cmd/app")
+}

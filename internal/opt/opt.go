@@ -18,6 +18,7 @@ import (
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/regress"
+	"pdn3d/internal/units"
 )
 
 // Candidate is one point in the design space.
@@ -231,7 +232,7 @@ func features(m2, m3 float64, tc int) []float64 {
 
 // axisSamples spreads n samples over [lo, hi] inclusive.
 func axisSamples(lo, hi float64, n int) []float64 {
-	if n == 1 || hi == lo {
+	if n == 1 || units.SameValue(hi, lo) {
 		return []float64{lo}
 	}
 	out := make([]float64, n)
@@ -328,11 +329,11 @@ func (o *Optimizer) GridSize() int {
 	g := o.gridSteps()
 	tcs := len(tcSamples(sp.TSVRange, g))
 	m2 := g
-	if sp.M2Range[0] == sp.M2Range[1] {
+	if units.SameValue(sp.M2Range[0], sp.M2Range[1]) {
 		m2 = 1
 	}
 	m3 := g
-	if sp.M3Range[0] == sp.M3Range[1] {
+	if units.SameValue(sp.M3Range[0], sp.M3Range[1]) {
 		m3 = 1
 	}
 	return len(o.combos()) * m2 * m3 * tcs

@@ -15,6 +15,7 @@ import (
 
 	"pdn3d/internal/floorplan"
 	"pdn3d/internal/tech"
+	"pdn3d/internal/units"
 )
 
 // TSVLocation is the PG TSV placement style (paper §3.3, Table 8's TL).
@@ -217,7 +218,7 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("pdn %s: logic layer %s usage %g out of (0, %g]", s.Name, name, u, l.MaxUsage)
 			}
 		}
-		if s.DRAMTech.VDD != s.LogicTech.VDD {
+		if !units.SameValue(s.DRAMTech.VDD, s.LogicTech.VDD) {
 			return fmt.Errorf("pdn %s: coupled logic and DRAM PDNs need equal VDD (%g vs %g)",
 				s.Name, s.LogicTech.VDD, s.DRAMTech.VDD)
 		}

@@ -13,8 +13,8 @@ var benchSizes = []struct {
 	name   string
 	nx, ny int
 }{
-	{"n1k", 32, 32},    // 1024 nodes
-	{"n10k", 100, 100}, // 10000 nodes
+	{"n1k", 32, 32},     // 1024 nodes
+	{"n10k", 100, 100},  // 10000 nodes
 	{"n100k", 316, 316}, // 99856 nodes
 }
 

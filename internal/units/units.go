@@ -17,7 +17,10 @@
 // reports all IR-drop results in.
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Common scale factors relative to the canonical units.
 const (
@@ -38,6 +41,35 @@ const (
 	// MilliVolt converts millivolts to volts.
 	MilliVolt = 1e-3
 )
+
+// Tol is the default relative tolerance for comparing configuration
+// values (voltages, range endpoints, usage fractions). It is far looser
+// than one ulp — enough to absorb arithmetic rounding — yet far tighter
+// than any physically meaningful difference in the canonical units.
+const Tol = 1e-9
+
+// ApproxEqual reports whether a and b agree to within tol, interpreted
+// relative to their magnitude (and absolutely for magnitudes below 1).
+// It is the sanctioned replacement for raw ==/!= between floats, which
+// the floateq analyzer rejects in analysis code.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { //pdnlint:ignore floateq exact-match fast path; also covers equal infinities, where a-b is NaN
+		return true
+	}
+	m := math.Abs(a)
+	if bm := math.Abs(b); bm > m {
+		m = bm
+	}
+	if m < 1 {
+		m = 1
+	}
+	return math.Abs(a-b) <= tol*m
+}
+
+// SameValue reports whether two configuration values coincide at the
+// default tolerance — the common "is this sweep axis collapsed / are
+// these knobs the same" test.
+func SameValue(a, b float64) bool { return ApproxEqual(a, b, Tol) }
 
 // MilliVolts renders a voltage drop (in V) as a millivolt string with the
 // two-decimal precision used in the paper's tables.
