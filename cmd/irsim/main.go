@@ -7,7 +7,7 @@
 //	irsim -bench ddr3-off [-state 0-0-0-2] [-io 1.0] [-bonding F2F]
 //	      [-tsv 33] [-style E|C|D] [-wirebond] [-dedicated] [-rdl none|interface|all]
 //	      [-align] [-pitch 0.2] [-solver cg-ic0|cg-jacobi|cholesky] [-workers n]
-//	      [-map] [-spice out.sp]
+//	      [-map] [-spice out.sp] [-stats] [-metrics-out file] [-pprof addr]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"pdn3d/internal/irdrop"
 	"pdn3d/internal/layout"
 	"pdn3d/internal/memstate"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
 	"pdn3d/internal/rmesh"
@@ -47,7 +48,9 @@ func main() {
 	dumpMap := flag.Bool("map", false, "print an ASCII IR map per layer")
 	spiceOut := flag.String("spice", "", "write an HSPICE-style netlist to this file")
 	svgOut := flag.String("svg", "", "write an SVG layout view (top DRAM die, IR overlay) to this file")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	reg := obsFlags.Setup(log.Printf)
 
 	b, err := bench3d.ByName(*benchName)
 	if err != nil {
@@ -116,7 +119,7 @@ func main() {
 	if spec.OnLogic {
 		logic = b.LogicPower
 	}
-	a, err := irdrop.New(spec, b.DRAMPower, logic)
+	a, err := irdrop.NewObs(spec, b.DRAMPower, logic, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -185,6 +188,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nnetlist written to %s\n", *spiceOut)
+	}
+	if err := obsFlags.Finish(reg); err != nil {
+		log.Fatal(err)
 	}
 }
 

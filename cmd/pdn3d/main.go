@@ -8,6 +8,7 @@
 //
 //	pdn3d -bench ddr3-off [-alpha 0,0.3,1] [-pitch 0.2] [-samples 3] [-grid 9]
 //	      [-workers n] [-solver cg-ic0|cg-jacobi|cholesky]
+//	      [-stats] [-metrics-out file] [-pprof addr]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"pdn3d/internal/bench3d"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/opt"
 	"pdn3d/internal/report"
 	"pdn3d/internal/solve"
@@ -34,7 +36,9 @@ func main() {
 	grid := flag.Int("grid", 0, "search grid steps per axis (0 = 9)")
 	workers := flag.Int("workers", 0, "worker pool size for sampling sweeps (0 = GOMAXPROCS)")
 	solver := flag.String("solver", "", "nodal solver: "+strings.Join(solve.Methods(), ", ")+" (default "+solve.DefaultMethod+")")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	reg := obsFlags.Setup(log.Printf)
 
 	b, err := bench3d.ByName(*benchName)
 	if err != nil {
@@ -47,6 +51,7 @@ func main() {
 		GridSteps:         *grid,
 		Workers:           *workers,
 		Solver:            *solver,
+		Obs:               reg,
 	}
 	start := time.Now()
 	if err := o.FitModels(); err != nil {
@@ -77,4 +82,7 @@ func main() {
 	}
 	t.AddRow("baseline", base.Cand.String(), base.PredIRmV, base.MeasIRmV, fmt.Sprintf("%.2f", base.Cost))
 	fmt.Print(t)
+	if err := obsFlags.Finish(reg); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -14,6 +14,7 @@ import (
 // discussion (its reference [6] models exactly this effect): few or badly
 // placed TSVs concentrate the supply current in individual vias.
 func (r *Runner) CrowdingStudy() (*report.Table, error) {
+	defer r.span("exp/crowding")()
 	b, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err

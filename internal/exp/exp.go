@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"pdn3d/internal/lut"
 	"pdn3d/internal/memctrl"
 	"pdn3d/internal/memstate"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
@@ -35,6 +37,11 @@ type Config struct {
 	Workers int
 	// Solver selects the nodal solver method ("" = solve.DefaultMethod).
 	Solver string
+	// Obs, when non-nil, receives run metrics and a span per experiment:
+	// mesh/solver instrumentation from the layers below, sweep pool
+	// metrics under "exp.sweep.*", and analyzer/LUT cache hit rates.
+	// Results are identical with or without it.
+	Obs *obs.Registry
 }
 
 // Runner executes experiments, caching analyzers and look-up tables across
@@ -46,11 +53,24 @@ type Runner struct {
 
 	analyzers par.Group[*irdrop.Analyzer]
 	luts      par.Group[*lut.Table]
+	sweeps    *obs.SweepMetrics
 }
 
 // NewRunner returns a Runner with the given fidelity configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{Cfg: cfg}
+	r := &Runner{Cfg: cfg}
+	reg := cfg.Obs
+	r.sweeps = reg.SweepMetrics("exp.sweep")
+	r.analyzers.Hits = reg.Counter("exp.analyzer_cache.hits")
+	r.analyzers.Misses = reg.Counter("exp.analyzer_cache.misses")
+	r.luts.Hits = reg.Counter("exp.lut_cache.hits")
+	r.luts.Misses = reg.Counter("exp.lut_cache.misses")
+	return r
+}
+
+// span opens one experiment-level trace span (no-op without a registry).
+func (r *Runner) span(name string, attrs ...obs.Attr) func() {
+	return r.Cfg.Obs.Span(name, attrs...)
 }
 
 // sweep fans fn over n independent design points on the runner's worker
@@ -58,7 +78,7 @@ func NewRunner(cfg Config) *Runner {
 // first error and returns the lowest-indexed one.
 func sweep[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := par.Sweep(r.Cfg.Workers, n, func(i int) error {
+	err := par.SweepWith(r.Cfg.Workers, n, r.sweeps, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -70,6 +90,40 @@ func sweep[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// sweepCells fans fn over n independent table cells like sweep, but never
+// aborts: every cell runs to completion, a failed cell keeps its zero
+// value, and the per-cell errors come back positionally so callers can
+// render failed cells as "ERR" instead of dropping the whole table. The
+// third return aggregates the failures (nil when every cell succeeded).
+func sweepCells[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, []error, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	// fn errors land in errs, not the sweep, so no cell cancels the rest.
+	_ = par.SweepWith(r.Cfg.Workers, n, r.sweeps, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		out[i] = v
+		return nil
+	})
+	var first error
+	failed := 0
+	for _, e := range errs {
+		if e != nil {
+			failed++
+			if first == nil {
+				first = e
+			}
+		}
+	}
+	if first != nil {
+		return out, errs, fmt.Errorf("exp: %d of %d cells failed, first: %w", failed, n, first)
+	}
+	return out, errs, nil
 }
 
 // requests returns the workload length.
@@ -160,7 +214,7 @@ func specKey(s *pdn.Spec, withLogic bool) string {
 // exactly once even under concurrent misses.
 func (r *Runner) analyzer(spec *pdn.Spec, dram *powermap.DRAMModel, logic *powermap.LogicModel) (*irdrop.Analyzer, error) {
 	return r.analyzers.Do(specKey(spec, logic != nil), func() (*irdrop.Analyzer, error) {
-		a, err := irdrop.New(spec, dram, logic)
+		a, err := irdrop.NewObs(spec, dram, logic, r.Cfg.Obs)
 		if err != nil {
 			return nil, err
 		}

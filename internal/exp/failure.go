@@ -13,6 +13,16 @@ import (
 // §3.2 saturation result — designs past the saturation knee tolerate
 // substantial TSV loss.
 func (r *Runner) TSVFailureStudy() (*report.Table, error) {
+	return r.TSVFailureStudyAt([]int{33, 120}, []int{0, 10, 25, 50})
+}
+
+// TSVFailureStudyAt is TSVFailureStudy over explicit TSV counts and
+// failure percentages. Infeasible points (100 % failure severs the stack
+// from its supply and the nodal system goes singular) render as ERR cells
+// rather than dropping the table; the table is returned alongside the
+// aggregated cell error so callers can print it and still fail the run.
+func (r *Runner) TSVFailureStudyAt(tsvCounts, failPcts []int) (*report.Table, error) {
+	defer r.span("exp/tsv-failure")()
 	b, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err
@@ -21,8 +31,6 @@ func (r *Runner) TSVFailureStudy() (*report.Table, error) {
 		Title:  "TSV failure resilience (off-chip stacked DDR3, 0-0-0-2)",
 		Header: []string{"TSV count", "failed", "alive", "max IR (mV)", "vs healthy"},
 	}
-	tsvCounts := []int{33, 120}
-	failPcts := []int{0, 10, 25, 50}
 	type point struct {
 		tc, failPct int
 	}
@@ -36,7 +44,7 @@ func (r *Runner) TSVFailureStudy() (*report.Table, error) {
 		maxIR float64
 		alive int
 	}
-	results, err := sweep(r, len(points), func(i int) (outcome, error) {
+	results, cellErrs, sweepErr := sweepCells(r, len(points), func(i int) (outcome, error) {
 		p := points[i]
 		spec := r.prepare(b.Spec)
 		spec.TSVCount = p.tc
@@ -44,7 +52,10 @@ func (r *Runner) TSVFailureStudy() (*report.Table, error) {
 		if nFail > 0 {
 			// Deterministic spread: fail every stride-th via stack.
 			spec.FailedTSVs = map[int]bool{}
-			stride := p.tc / nFail
+			stride := 1
+			if nFail < p.tc {
+				stride = p.tc / nFail
+			}
 			for i := 0; i < nFail; i++ {
 				spec.FailedTSVs[(i*stride)%p.tc] = true
 			}
@@ -59,11 +70,12 @@ func (r *Runner) TSVFailureStudy() (*report.Table, error) {
 		}
 		return outcome{maxIR: res.MaxIR, alive: p.tc - len(spec.FailedTSVs)}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var healthy float64
 	for i, p := range points {
+		if cellErrs[i] != nil {
+			t.AddRow(p.tc, fmt.Sprintf("%d%%", p.failPct), p.tc-p.tc*p.failPct/100, "ERR", "-")
+			continue
+		}
 		rel := "-"
 		if p.failPct == 0 {
 			healthy = results[i].maxIR
@@ -76,5 +88,16 @@ func (r *Runner) TSVFailureStudy() (*report.Table, error) {
 	t.Notes = append(t.Notes,
 		"failures open whole via stacks (landing included); deterministic spread pattern",
 		"designs past the Figure 5 saturation knee tolerate substantial TSV loss")
-	return t, nil
+	r.Cfg.Obs.Counter("exp.cells_failed").Add(int64(countErrs(cellErrs)))
+	return t, sweepErr
+}
+
+func countErrs(errs []error) int {
+	n := 0
+	for _, e := range errs {
+		if e != nil {
+			n++
+		}
+	}
+	return n
 }

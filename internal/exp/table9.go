@@ -5,12 +5,14 @@ import (
 
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/cost"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/opt"
 	"pdn3d/internal/report"
 )
 
 // Table8 renders the cost model summary (paper Table 8).
 func (r *Runner) Table8() (*report.Table, error) {
+	defer r.span("exp/table8")()
 	m := cost.Default()
 	t := &report.Table{
 		Title:  "Table 8: cost model summary",
@@ -34,11 +36,12 @@ var Table9Alphas = []float64{0, 0.3, 1}
 // reports the best options at each alpha plus the baseline (paper Table 9).
 // It also reports the regression quality of §6.1.
 func (r *Runner) Table9(benchName string) (*report.Table, error) {
+	defer r.span("exp/table9", obs.A("bench", benchName))()
 	b, err := bench3d.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch, Workers: r.Cfg.Workers, Solver: r.Cfg.Solver}
+	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch, Workers: r.Cfg.Workers, Solver: r.Cfg.Solver, Obs: r.Cfg.Obs}
 	if err := o.FitModels(); err != nil {
 		return nil, err
 	}
@@ -81,11 +84,12 @@ func (r *Runner) Table9(benchName string) (*report.Table, error) {
 // RegressionStudy reports the §6.1 regression quality and the
 // sample-vs-brute-force reduction for one benchmark.
 func (r *Runner) RegressionStudy(benchName string) (*report.Table, error) {
+	defer r.span("exp/regression", obs.A("bench", benchName))()
 	b, err := bench3d.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch, Workers: r.Cfg.Workers, Solver: r.Cfg.Solver}
+	o := &opt.Optimizer{Bench: b, MeshPitch: r.Cfg.MeshPitch, Workers: r.Cfg.Workers, Solver: r.Cfg.Solver, Obs: r.Cfg.Obs}
 	if err := o.FitModels(); err != nil {
 		return nil, err
 	}

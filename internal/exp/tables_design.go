@@ -13,6 +13,7 @@ import (
 
 // Table1 renders the benchmark specification summary (paper Table 1).
 func (r *Runner) Table1() (*report.Table, error) {
+	defer r.span("exp/table1")()
 	t := &report.Table{
 		Title:  "Table 1: benchmark specifications",
 		Header: []string{"benchmark", "dies", "die (mm)", "banks/die", "stand-alone", "host die", "VDD (V)"},
@@ -38,6 +39,7 @@ func (r *Runner) Table1() (*report.Table, error) {
 // MetalUsageStudy reproduces the §3 opening observation: doubling the PDN
 // metal usage cuts the stacked-DDR3 IR drop by more than 40 %.
 func (r *Runner) MetalUsageStudy() (*report.Table, error) {
+	defer r.span("exp/metal-usage")()
 	b, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err
@@ -79,6 +81,7 @@ func (r *Runner) MetalUsageStudy() (*report.Table, error) {
 // couples the PDNs and raises the DRAM IR drop from ~30 to ~64 mV under a
 // ~50 mV logic noise.
 func (r *Runner) MountingStudy() (*report.Table, error) {
+	defer r.span("exp/mounting")()
 	off, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err
@@ -120,6 +123,7 @@ func (r *Runner) MountingStudy() (*report.Table, error) {
 // Table2 compares the TSV-location and RDL options of Figure 6 on the
 // off-chip stacked DDR3 (paper Table 2).
 func (r *Runner) Table2() (*report.Table, error) {
+	defer r.span("exp/table2")()
 	b, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err
@@ -172,6 +176,7 @@ func (r *Runner) Table2() (*report.Table, error) {
 // Table3 measures the impact of dedicated TSVs and backside wire bonding
 // (paper Table 3).
 func (r *Runner) Table3() (*report.Table, error) {
+	defer r.span("exp/table3")()
 	off, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err
@@ -233,6 +238,7 @@ func (r *Runner) Table3() (*report.Table, error) {
 // placement cases (paper Table 4). Two-die interleaving states share the
 // bus, so each die runs at 50 % I/O activity.
 func (r *Runner) Table4() (*report.Table, error) {
+	defer r.span("exp/table4")()
 	b, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err
@@ -298,6 +304,7 @@ func (r *Runner) Table4() (*report.Table, error) {
 // Table5 measures memory-state and I/O-activity impact on power and IR
 // drop for F2B and F2F off-chip stacked DDR3 (paper Table 5).
 func (r *Runner) Table5() (*report.Table, error) {
+	defer r.span("exp/table5")()
 	b, err := bench3d.StackedDDR3Off()
 	if err != nil {
 		return nil, err

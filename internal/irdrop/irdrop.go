@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"pdn3d/internal/memstate"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
@@ -39,6 +40,7 @@ type Analyzer struct {
 
 	results par.Group[*Result]
 	solves  atomic.Int64
+	obs     *obs.Registry
 }
 
 // Result is one IR-drop analysis outcome.
@@ -66,6 +68,14 @@ type Result struct {
 
 // New builds an Analyzer for a design.
 func New(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel) (*Analyzer, error) {
+	return NewObs(spec, dramPower, logicPower, nil)
+}
+
+// NewObs is New with instrumentation: the mesh build, solver setup, and
+// every solve report into reg, and the analyzer's result memoization
+// reports hit/miss counts under "irdrop.result_cache.*". A nil registry
+// disables instrumentation; analysis results are identical either way.
+func NewObs(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel, reg *obs.Registry) (*Analyzer, error) {
 	if err := dramPower.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,16 +87,20 @@ func New(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.Log
 			return nil, fmt.Errorf("irdrop: logic power given for an off-chip design")
 		}
 	}
-	m, err := rmesh.Build(spec)
+	m, err := rmesh.BuildObs(spec, reg)
 	if err != nil {
 		return nil, err
 	}
-	return &Analyzer{
+	a := &Analyzer{
 		Model:      m,
 		DRAMPower:  dramPower,
 		LogicPower: logicPower,
-		Opts:       solve.Options{CGOptions: solve.CGOptions{Tol: 1e-8, MaxIter: 60000}},
-	}, nil
+		Opts:       solve.Options{CGOptions: solve.CGOptions{Tol: 1e-8, MaxIter: 60000}, Obs: reg},
+		obs:        reg,
+	}
+	a.results.Hits = reg.Counter("irdrop.result_cache.hits")
+	a.results.Misses = reg.Counter("irdrop.result_cache.misses")
+	return a, nil
 }
 
 // Spec returns the analyzed design.
@@ -153,6 +167,7 @@ func (a *Analyzer) LoadedRHS(state memstate.State, io float64) ([]float64, error
 }
 
 func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
+	defer a.obs.Timer("irdrop.analyze_time").Start()()
 	spec := a.Spec()
 	if state.NumDies() > spec.NumDRAM {
 		return nil, fmt.Errorf("irdrop: state has %d dies, design has %d", state.NumDies(), spec.NumDRAM)
@@ -202,6 +217,8 @@ func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
 	if spec.OnLogic {
 		res.LogicIR = m.DieMaxIR(res.IR, rmesh.DieLogic)
 	}
+	// Max over all analyzed states: order-independent, so deterministic.
+	a.obs.Gauge("irdrop.max_ir_v").SetMax(res.MaxIR)
 	return res, nil
 }
 

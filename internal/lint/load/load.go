@@ -74,6 +74,11 @@ func goList(dir string, patterns []string) ([]*listPkg, error) {
 	args := append([]string{"list", "-e", "-deps", listFields, "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
+	// Type-checking happens from source, so cgo variants of standard
+	// library files (which reference cgo-generated _C_* identifiers)
+	// cannot be checked; disable cgo so go list selects the pure-Go
+	// file sets instead. The module itself uses no cgo.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
@@ -231,10 +236,17 @@ func (ld *loader) pkg(path string) (*Package, error) {
 	}
 	m := ld.meta[path]
 	if m == nil {
-		if err := ld.fetchMeta(path); err != nil {
+		// Standard-library packages spell imports of their vendored
+		// dependencies without the prefix (`golang.org/x/...`), but
+		// `go list -deps` reports those packages under `vendor/...`.
+		if v := ld.meta["vendor/"+path]; v != nil {
+			ld.meta[path] = v
+			m = v
+		} else if err := ld.fetchMeta(path); err != nil {
 			return nil, err
+		} else {
+			m = ld.meta[path]
 		}
-		m = ld.meta[path]
 	}
 	if m.Error != nil {
 		return nil, fmt.Errorf("load: %s: %s", path, m.Error.Err)

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLIFlags carries the standard observability flags shared by the
+// command-line tools: -stats, -metrics-out, and -pprof.
+type CLIFlags struct {
+	Stats      bool
+	MetricsOut string
+	PprofAddr  string
+}
+
+// BindFlags registers the observability flags on fs (usually
+// flag.CommandLine) and returns the struct their values land in.
+func BindFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.BoolVar(&f.Stats, "stats", false, "print the run summary (spans + metrics) to stderr on exit")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *CLIFlags) Enabled() bool {
+	return f.Stats || f.MetricsOut != "" || f.PprofAddr != ""
+}
+
+// Setup builds the run registry when any flag asks for one (nil
+// otherwise — instrumented code paths treat a nil registry as disabled).
+// With -pprof it also publishes the registry as the expvar "pdn3d"
+// variable and starts the debug HTTP server; errlog receives any server
+// failure. Call once per process.
+func (f *CLIFlags) Setup(errlog func(format string, args ...interface{})) *Registry {
+	if !f.Enabled() {
+		return nil
+	}
+	r := NewRegistry()
+	if f.PprofAddr != "" {
+		expvar.Publish("pdn3d", r)
+		ServeDebug(f.PprofAddr, errlog)
+	}
+	return r
+}
+
+// Finish emits the requested outputs: the JSON snapshot to -metrics-out
+// and the human summary to stderr for -stats. Safe on a nil registry.
+func (f *CLIFlags) Finish(r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	if f.MetricsOut != "" {
+		if err := os.WriteFile(f.MetricsOut, r.JSON(), 0o644); err != nil {
+			return fmt.Errorf("obs: writing metrics: %w", err)
+		}
+	}
+	if f.Stats {
+		fmt.Fprint(os.Stderr, r.Summary())
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// A formats any value into an Attr.
+func A(key string, value interface{}) Attr {
+	return Attr{Key: key, Value: fmt.Sprint(value)}
+}
+
+// spanRecord is one completed span, with times relative to the registry
+// start so traces from one run compose on a single axis.
+type spanRecord struct {
+	name  string
+	attrs []Attr
+	start time.Duration
+	dur   time.Duration
+}
+
+// Span opens a named span and returns the function that closes and
+// records it. Attrs may describe the stage (design name, node count,
+// fidelity). Spans are wall-clock-derived and never part of the
+// deterministic snapshot. Safe (and a no-op) on a nil registry.
+func (r *Registry) Span(name string, attrs ...Attr) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := now()
+	return func() {
+		end := now()
+		r.mu.Lock()
+		r.spans = append(r.spans, spanRecord{
+			name:  name,
+			attrs: attrs,
+			start: start.Sub(r.start),
+			dur:   end.Sub(start),
+		})
+		r.mu.Unlock()
+	}
+}
+
+// spanRecords returns a copy of the recorded spans ordered by start time
+// (concurrent spans end — and so are appended — in scheduler order;
+// start order is the stable axis a human reads a trace on).
+func (r *Registry) spanRecords() []spanRecord {
+	r.mu.Lock()
+	out := append([]spanRecord(nil), r.spans...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

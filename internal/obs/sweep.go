@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SweepMetrics instruments a worker-pool sweep (internal/par): task
+// counts, queue wait (sweep start to task start), per-task busy time,
+// and the last sweep's worker utilization. Started/Completed are
+// deterministic for error-free sweeps; the wait/busy timers and the
+// utilization gauge are wall-clock-derived and excluded from the
+// deterministic snapshot.
+type SweepMetrics struct {
+	Started, Completed *Counter
+	Wait, Busy         *Timer
+	Utilization        *Gauge
+}
+
+// SweepMetrics returns the sweep instrument rooted at prefix, creating
+// its metrics on first use. Returns nil on a nil registry.
+func (r *Registry) SweepMetrics(prefix string) *SweepMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SweepMetrics{
+		Started:     r.Counter(prefix + ".tasks_started"),
+		Completed:   r.Counter(prefix + ".tasks_completed"),
+		Wait:        r.Timer(prefix + ".queue_wait"),
+		Busy:        r.Timer(prefix + ".busy"),
+		Utilization: r.InfoGauge(prefix + ".utilization"),
+	}
+}
+
+// SweepRun tracks one sweep invocation against its metrics. The zero of
+// a nil *SweepMetrics is a nil *SweepRun, on which every method is a
+// no-op.
+type SweepRun struct {
+	m       *SweepMetrics
+	start   time.Time
+	workers int
+	busyNS  atomic.Int64
+}
+
+// Begin opens one sweep over the given worker budget.
+func (m *SweepMetrics) Begin(workers int) *SweepRun {
+	if m == nil {
+		return nil
+	}
+	return &SweepRun{m: m, start: now(), workers: workers}
+}
+
+// TaskStart records one task picking up work (counting its queue wait)
+// and returns the completion function that records its busy time.
+func (s *SweepRun) TaskStart() func() {
+	if s == nil {
+		return func() {}
+	}
+	ts := now()
+	s.m.Started.Add(1)
+	s.m.Wait.Observe(ts.Sub(s.start))
+	return func() {
+		busy := now().Sub(ts)
+		s.busyNS.Add(int64(busy))
+		s.m.Busy.Observe(busy)
+		s.m.Completed.Add(1)
+	}
+}
+
+// End closes the sweep, recording worker utilization — total busy time
+// over workers x elapsed, 1.0 when every worker computed the whole time.
+func (s *SweepRun) End() {
+	if s == nil {
+		return
+	}
+	elapsed := now().Sub(s.start)
+	if elapsed > 0 && s.workers > 0 {
+		s.m.Utilization.Set(float64(s.busyNS.Load()) / (float64(elapsed) * float64(s.workers)))
+	}
+}

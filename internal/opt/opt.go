@@ -15,6 +15,7 @@ import (
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/cost"
 	"pdn3d/internal/irdrop"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/regress"
@@ -99,6 +100,10 @@ type Optimizer struct {
 	Workers int
 	// Solver selects the nodal solver method ("" = the default).
 	Solver string
+	// Obs, when non-nil, receives sampling metrics: the mesh/solver
+	// instrumentation of every R-Mesh evaluation plus a span around the
+	// model fit. Optimization results are identical either way.
+	Obs *obs.Registry
 
 	fits map[string]*regress.Fit
 	// FitRMSE and FitR2 summarize the worst fit across combos, the
@@ -177,7 +182,7 @@ func (o *Optimizer) measure(c Candidate) (float64, error) {
 	if !spec.OnLogic {
 		logic = nil
 	}
-	a, err := irdrop.New(spec, o.Bench.DRAMPower, logic)
+	a, err := irdrop.NewObs(spec, o.Bench.DRAMPower, logic, o.Obs)
 	if err != nil {
 		return 0, err
 	}
@@ -247,6 +252,7 @@ func axisSamples(lo, hi float64, n int) []float64 {
 // samples use an independent analyzer, so they parallelize cleanly). It
 // must run before Best.
 func (o *Optimizer) FitModels() error {
+	defer o.Obs.Span("opt/fit-models", obs.A("bench", o.Bench.Name))()
 	sp := o.Bench.Space
 	n := o.samplesPerAxis()
 	m2s := axisSamples(sp.M2Range[0], sp.M2Range[1], n)

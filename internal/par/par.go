@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pdn3d/internal/obs"
 )
 
 // Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS.
@@ -25,6 +27,15 @@ func Workers(n int) int {
 // sweep over independent design points cancels promptly; calls already in
 // flight run to completion.
 func Sweep(workers, n int, fn func(i int) error) error {
+	return SweepWith(workers, n, nil, fn)
+}
+
+// SweepWith is Sweep with per-task instrumentation: task start/completion
+// counts, queue wait, busy time, and worker utilization are recorded on m
+// (nil disables instrumentation). Task counts are deterministic for
+// error-free sweeps; after a failure the number of started tasks depends
+// on cancellation timing.
+func SweepWith(workers, n int, m *obs.SweepMetrics, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -32,9 +43,15 @@ func Sweep(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	run := m.Begin(workers)
+	defer run.End()
+	call := func(i int) error {
+		defer run.TaskStart()()
+		return fn(i)
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(i); err != nil {
 				return err
 			}
 		}
@@ -56,7 +73,7 @@ func Sweep(workers, n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
-			if err := fn(i); err != nil {
+			if err := call(i); err != nil {
 				mu.Lock()
 				if i < errIdx {
 					errIdx, firstBy = i, err
@@ -132,10 +149,17 @@ func Blocks(workers, n, block int, fn func(b, lo, hi int)) {
 // in flight waits for and shares its outcome, and successful results are
 // cached for all later callers. A failed call is not cached, so the next
 // caller retries. The zero value is ready to use.
+//
+// Hits/Misses, when set, count calls served without executing fn (cache
+// hit or shared in-flight result) versus fn executions. For error-free
+// workloads both are functions of the call multiset alone, independent of
+// worker count; failed calls retry, so error paths may add misses.
 type Group[V any] struct {
 	mu       sync.Mutex
 	done     map[string]V
 	inflight map[string]*flight[V]
+
+	Hits, Misses *obs.Counter
 }
 
 type flight[V any] struct {
@@ -150,10 +174,12 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error) {
 	g.mu.Lock()
 	if v, ok := g.done[key]; ok {
 		g.mu.Unlock()
+		g.Hits.Add(1)
 		return v, nil
 	}
 	if f, ok := g.inflight[key]; ok {
 		g.mu.Unlock()
+		g.Hits.Add(1)
 		f.wg.Wait()
 		return f.val, f.err
 	}
@@ -164,6 +190,7 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error) {
 	f.wg.Add(1)
 	g.inflight[key] = f
 	g.mu.Unlock()
+	g.Misses.Add(1)
 
 	f.val, f.err = fn()
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pdn3d/internal/geom"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/solve"
@@ -41,6 +42,9 @@ type Model struct {
 	// (IC(0) or dense factorization) happens exactly once per model, even
 	// when many goroutines request it concurrently.
 	solvers par.Group[solve.Solver]
+
+	// obs, when non-nil, receives mesh and solver metrics (see BuildObs).
+	obs *obs.Registry
 }
 
 // Tie is a conductance from a mesh node to the ideal package supply.
@@ -140,8 +144,19 @@ func (m *Model) DRAMLoadLayer(d int) (*Layer, error) {
 // LogicLoadLayer returns the logic die's load layer, or nil off-chip.
 func (m *Model) LogicLoadLayer() *Layer { return m.logicLoad }
 
+// nodeBounds is the fixed bucket layout for per-model node counts,
+// spanning smoke-pitch meshes through full-fidelity stacks.
+var nodeBounds = []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6}
+
 // Build assembles the R-Mesh for the given design.
-func Build(spec *pdn.Spec) (*Model, error) {
+func Build(spec *pdn.Spec) (*Model, error) { return BuildObs(spec, nil) }
+
+// BuildObs is Build with instrumentation: build and stamp phase timing,
+// model/node/resistor counts under "rmesh.*", and solver-cache hit/miss
+// counters on the model's per-matrix solver cache. A nil registry
+// disables instrumentation; the mesh built is identical either way.
+func BuildObs(spec *pdn.Spec, reg *obs.Registry) (*Model, error) {
+	defer reg.Timer("rmesh.build_time").Start()()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,7 +164,10 @@ func Build(spec *pdn.Spec) (*Model, error) {
 		Spec:  spec,
 		VDD:   spec.DRAMTech.VDD,
 		byKey: map[string]*Layer{},
+		obs:   reg,
 	}
+	m.solvers.Hits = reg.Counter("rmesh.solver_cache.hits")
+	m.solvers.Misses = reg.Counter("rmesh.solver_cache.misses")
 	pitch := spec.EffMeshPitch()
 
 	addLayer := func(key string, die int, name string, outline geom.Rect, dir tech.Direction, rEff float64, isLoad bool) (*Layer, error) {
@@ -233,15 +251,22 @@ func Build(spec *pdn.Spec) (*Model, error) {
 	}
 
 	// --- Stamp everything ---
+	stopStamp := reg.Timer("rmesh.stamp_time").Start()
 	b := sparse.NewBuilder(m.n)
 	for _, l := range m.Layers {
 		m.stampLayer(b, l)
 	}
 	m.stampVias(b)
 	if err := m.stampConnections(b); err != nil {
+		stopStamp()
 		return nil, err
 	}
 	m.Matrix = b.Compress()
+	stopStamp()
+	reg.Counter("rmesh.builds").Add(1)
+	reg.Counter("rmesh.nodes_total").Add(int64(m.n))
+	reg.Counter("rmesh.resistors_total").Add(int64(m.Resistors))
+	reg.Histogram("rmesh.nodes", nodeBounds).Observe(float64(m.n))
 	return m, nil
 }
 

@@ -1,0 +1,156 @@
+package rmesh_test
+
+import (
+	"math"
+	"testing"
+
+	"pdn3d/internal/bench3d"
+	"pdn3d/internal/rmesh"
+	"pdn3d/internal/solve"
+)
+
+// The fuzz targets below exercise two physics invariants of the nodal
+// model across perturbed versions of the four paper designs (ddr3-off,
+// ddr3-on, wideio, hmc), which seed the corpus. `go test` runs the seed
+// corpus only; `go test -fuzz` explores further.
+
+// paperDesign returns a fresh copy of one of the four paper benchmarks
+// at the coarse test pitch; the index wraps so any fuzzed byte maps to
+// a design.
+func paperDesign(t testing.TB, idx uint8) *bench3d.Benchmark {
+	t.Helper()
+	all, err := bench3d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := all[int(idx)%len(all)]
+	b.Spec.MeshPitch = 0.5
+	return b
+}
+
+func scaledUsage(u map[string]float64, s float64) map[string]float64 {
+	out := make(map[string]float64, len(u))
+	for k, v := range u {
+		out[k] = v * s
+	}
+	return out
+}
+
+// solveDesign builds the design's mesh with PDN metal usage scaled by
+// usageScale, activates nBanks banks on the top DRAM die at the given
+// I/O activity, and solves. It returns the model, the IR-drop field,
+// and the total injected load power in mW. Configurations the spec
+// validation rejects (e.g. scaled metal usage above 100 %) skip.
+func solveDesign(t *testing.T, b *bench3d.Benchmark, usageScale, io float64, nBanks int) (*rmesh.Model, []float64, float64) {
+	t.Helper()
+	spec := b.Spec
+	spec.Usage = scaledUsage(spec.Usage, usageScale)
+	if spec.OnLogic {
+		spec.LogicUsage = scaledUsage(spec.LogicUsage, usageScale)
+	}
+	m, err := rmesh.Build(spec)
+	if err != nil {
+		t.Skipf("unbuildable fuzz config: %v", err)
+	}
+	rhs := m.BaseRHS()
+	var wantP float64
+	for d := 0; d < spec.NumDRAM; d++ {
+		var active []int
+		if d == spec.NumDRAM-1 {
+			for i := 0; i < nBanks; i++ {
+				active = append(active, i)
+			}
+		}
+		loads, err := b.DRAMPower.Loads(spec.DRAM, active, io)
+		if err != nil {
+			t.Skipf("no load placement for fuzz config: %v", err)
+		}
+		for _, l := range loads {
+			wantP += l.P
+		}
+		if err := m.AddDRAMLoads(rhs, d, loads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if spec.OnLogic && b.LogicPower != nil {
+		loads, err := b.LogicPower.Loads(spec.Logic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range loads {
+			wantP += l.P
+		}
+		if err := m.AddLogicLoads(rhs, loads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _, err := m.Solve(rhs, solve.Options{CGOptions: solve.CGOptions{Tol: 1e-10, MaxIter: 60000}})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return m, m.IRDrop(v), wantP
+}
+
+// FuzzKirchhoffConservation checks Kirchhoff's current law at the
+// supply boundary: the current entering through the tie conductances
+// (sum of G*(VDD - v) over ties) must equal the total injected load
+// current, for any design, metal scaling, activity, and bank count.
+func FuzzKirchhoffConservation(f *testing.F) {
+	for i := 0; i < 4; i++ {
+		f.Add(uint8(i), 1.0, 1.0, uint8(2))
+	}
+	f.Fuzz(func(t *testing.T, design uint8, usageScale, io float64, nBanks uint8) {
+		if math.IsNaN(usageScale) || usageScale < 0.25 || usageScale > 4 {
+			t.Skip("usage scale outside the physical range")
+		}
+		if math.IsNaN(io) || io < 0.1 || io > 1 {
+			t.Skip("I/O activity outside [0.1, 1]")
+		}
+		b := paperDesign(t, design)
+		m, ir, wantP := solveDesign(t, b, usageScale, io, int(nBanks%4))
+		var tieI float64
+		for _, tie := range m.Ties {
+			tieI += tie.G * ir[tie.Node]
+		}
+		wantI := wantP / 1000 / m.VDD // mW -> A
+		if wantI <= 0 {
+			t.Fatalf("no load current injected (total power %.3f mW)", wantP)
+		}
+		if math.Abs(tieI-wantI) > wantI*1e-3 {
+			t.Errorf("%s x%.2f: tie current %.6f A, loads draw %.6f A (conservation violated)",
+				b.Name, usageScale, tieI, wantI)
+		}
+	})
+}
+
+// FuzzMaxIRMonotoneInSheetResistance checks that raising the PDN sheet
+// resistance never lowers the worst IR drop. Sheet resistance scales as
+// 1/usage, so the mesh at usage*1.5 (lower sheet R) must be at least as
+// good as the mesh at usage (higher sheet R), for every design.
+func FuzzMaxIRMonotoneInSheetResistance(f *testing.F) {
+	for i := 0; i < 4; i++ {
+		f.Add(uint8(i), 1.0)
+	}
+	f.Fuzz(func(t *testing.T, design uint8, usageScale float64) {
+		if math.IsNaN(usageScale) || usageScale < 0.3 || usageScale > 2 {
+			t.Skip("usage scale outside the physical range")
+		}
+		mx := func(scale float64) float64 {
+			b := paperDesign(t, design)
+			_, ir, _ := solveDesign(t, b, scale, 1.0, 2)
+			var m float64
+			for _, v := range ir {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		}
+		highR := mx(usageScale)      // thinner metal, higher sheet resistance
+		lowR := mx(usageScale * 1.5) // thicker metal, lower sheet resistance
+		if lowR > highR*(1+1e-9) {
+			t.Errorf("design %d: lowering sheet resistance raised max IR: %.4f -> %.4f mV",
+				design%4, highR*1000, lowR*1000)
+		}
+	})
+}

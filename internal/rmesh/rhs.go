@@ -68,6 +68,9 @@ func (m *Model) Solver(opt solve.Options) (solve.Solver, error) {
 	if method == "" {
 		method = solve.DefaultMethod
 	}
+	if opt.Obs == nil {
+		opt.Obs = m.obs // an instrumented model instruments its solvers
+	}
 	return m.solvers.Do(method+"/"+strconv.Itoa(opt.Workers), func() (solve.Solver, error) {
 		return solve.New(m.Matrix, opt)
 	})
@@ -78,10 +81,12 @@ func (m *Model) Solver(opt solve.Options) (solve.Solver, error) {
 // once per (method, workers) pair and shared across right-hand sides and
 // goroutines.
 func (m *Model) Solve(rhs []float64, opt solve.Options) ([]float64, solve.CGStats, error) {
+	defer m.obs.Timer("rmesh.solve_time").Start()()
 	s, err := m.Solver(opt)
 	if err != nil {
 		return nil, solve.CGStats{}, err
 	}
+	m.obs.Counter("rmesh.solves").Add(1)
 	return s.Solve(rhs, opt.CGOptions)
 }
 

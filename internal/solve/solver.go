@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"pdn3d/internal/obs"
 	"pdn3d/internal/sparse"
 )
 
@@ -34,6 +35,11 @@ type Options struct {
 	// CGOptions is the default per-call tuning passed to Solve by
 	// callers that hold an Options rather than separate knobs.
 	CGOptions
+	// Obs, when non-nil, receives per-method solver metrics (solve and
+	// iteration counts, iteration histogram, max residual, setup and
+	// preconditioner-apply time) under "solve.<method>.*". Instrumented
+	// and uninstrumented solves produce identical results.
+	Obs *obs.Registry
 }
 
 // Method names built in to the registry.
@@ -96,30 +102,40 @@ func New(a *sparse.CSR, opt Options) (Solver, error) {
 
 func init() {
 	Register(MethodCGJacobi, func(a *sparse.CSR, opt Options) (Solver, error) {
+		m := newSolverMetrics(opt.Obs, MethodCGJacobi)
+		stop := m.setup.Start()
 		pre, err := NewJacobi(a)
+		stop()
 		if err != nil {
 			return nil, err
 		}
-		return &cgSolver{method: MethodCGJacobi, a: a, pre: pre, k: kernels{workers: opt.Workers}}, nil
+		return newCGSolver(MethodCGJacobi, a, pre, opt, m), nil
 	})
 	Register(MethodCGIC0, func(a *sparse.CSR, opt Options) (Solver, error) {
 		// IC(0) of an SPD matrix can still break down; mirror the PCG
 		// fallback and degrade to Jacobi scaling.
+		m := newSolverMetrics(opt.Obs, MethodCGIC0)
+		stop := m.setup.Start()
 		var pre Preconditioner
 		ic, err := NewIC(a)
 		if err == nil {
 			pre = ic
 		} else if pre, err = NewJacobi(a); err != nil {
+			stop()
 			return nil, err
 		}
-		return &cgSolver{method: MethodCGIC0, a: a, pre: pre, k: kernels{workers: opt.Workers}}, nil
+		stop()
+		return newCGSolver(MethodCGIC0, a, pre, opt, m), nil
 	})
 	Register(MethodCholesky, func(a *sparse.CSR, opt Options) (Solver, error) {
+		m := newSolverMetrics(opt.Obs, MethodCholesky)
+		stop := m.setup.Start()
 		c, err := NewCholesky(a)
+		stop()
 		if err != nil {
 			return nil, err
 		}
-		return &cholSolver{a: a, c: c, k: kernels{workers: opt.Workers}}, nil
+		return &cholSolver{a: a, c: c, k: kernels{workers: opt.Workers}, m: m}, nil
 	})
 }
 
@@ -129,12 +145,24 @@ type cgSolver struct {
 	a      *sparse.CSR
 	pre    Preconditioner
 	k      kernels
+	m      solverMetrics
+}
+
+func newCGSolver(method string, a *sparse.CSR, pre Preconditioner, opt Options, m solverMetrics) *cgSolver {
+	if opt.Obs != nil {
+		pre = timedPre{pre: pre, t: m.apply}
+	}
+	return &cgSolver{method: method, a: a, pre: pre, k: kernels{workers: opt.Workers}, m: m}
 }
 
 func (s *cgSolver) Method() string { return s.method }
 
 func (s *cgSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error) {
-	return pcg(s.a, s.pre, b, opt, s.k)
+	stop := s.m.solveTime.Start()
+	x, stats, err := pcg(s.a, s.pre, b, opt, s.k)
+	stop()
+	s.m.record(stats, err)
+	return x, stats, err
 }
 
 // cholSolver wraps the dense factorization behind the Solver interface.
@@ -142,13 +170,17 @@ type cholSolver struct {
 	a *sparse.CSR
 	c *Cholesky
 	k kernels
+	m solverMetrics
 }
 
 func (s *cholSolver) Method() string { return MethodCholesky }
 
 func (s *cholSolver) Solve(b []float64, _ CGOptions) ([]float64, CGStats, error) {
+	stop := s.m.solveTime.Start()
 	x, err := s.c.Solve(b)
+	stop()
 	if err != nil {
+		s.m.record(CGStats{}, err)
 		return nil, CGStats{}, err
 	}
 	// Report the true relative residual so direct solves carry honest
@@ -160,5 +192,6 @@ func (s *cholSolver) Solve(b []float64, _ CGOptions) ([]float64, CGStats, error)
 		s.k.axpy(r, -1, b)
 		stats.Residual = s.k.norm2(r) / normB
 	}
+	s.m.record(stats, nil)
 	return x, stats, nil
 }
