@@ -17,13 +17,10 @@ import (
 	"os"
 	"strings"
 
-	"pdn3d/internal/bench3d"
 	"pdn3d/internal/irdrop"
 	"pdn3d/internal/layout"
-	"pdn3d/internal/memstate"
 	"pdn3d/internal/obs"
-	"pdn3d/internal/pdn"
-	"pdn3d/internal/powermap"
+	"pdn3d/internal/query"
 	"pdn3d/internal/rmesh"
 	"pdn3d/internal/solve"
 	"pdn3d/internal/spice"
@@ -52,74 +49,28 @@ func main() {
 	flag.Parse()
 	reg := obsFlags.Setup(log.Printf)
 
-	b, err := bench3d.ByName(*benchName)
+	// The shared query validator rejects out-of-range inputs (-io outside
+	// (0,1], negative -pitch/-tsv, malformed -state) at flag-parse time
+	// with the same errors the analysis server reports.
+	q := query.Query{
+		Bench:     *benchName,
+		State:     *stateStr,
+		IO:        *io,
+		Bonding:   *bonding,
+		TSV:       *tsv,
+		Style:     *style,
+		RDL:       *rdl,
+		Wirebond:  *wirebond,
+		Dedicated: *dedicated,
+		Align:     *align,
+		Pitch:     *pitch,
+	}
+	r, err := q.Resolve()
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec := b.Spec.Clone()
-	if *bonding != "" {
-		switch strings.ToUpper(*bonding) {
-		case "F2B":
-			spec.Bonding = pdn.F2B
-		case "F2F":
-			spec.Bonding = pdn.F2F
-		default:
-			log.Fatalf("unknown bonding %q", *bonding)
-		}
-	}
-	if *tsv > 0 {
-		spec.TSVCount = *tsv
-	}
-	if *style != "" {
-		switch strings.ToUpper(*style) {
-		case "C":
-			spec.TSVStyle = pdn.CenterTSV
-		case "E":
-			spec.TSVStyle = pdn.EdgeTSV
-		case "D":
-			spec.TSVStyle = pdn.DistributedTSV
-		default:
-			log.Fatalf("unknown TSV style %q", *style)
-		}
-	}
-	if *wirebond {
-		spec.WireBond = true
-	}
-	if *dedicated {
-		spec.DedicatedTSV = true
-	}
-	if *rdl != "" {
-		switch strings.ToLower(*rdl) {
-		case "none":
-			spec.RDL = pdn.RDLNone
-		case "interface":
-			spec.RDL = pdn.RDLInterface
-		case "all":
-			spec.RDL = pdn.RDLAll
-		default:
-			log.Fatalf("unknown RDL option %q", *rdl)
-		}
-	}
-	if *align {
-		spec.AlignTSV = true
-	}
-	if *pitch > 0 {
-		spec.MeshPitch = *pitch
-	}
-
-	counts, err := memstate.ParseCounts(*stateStr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	state, err := memstate.FromCounts(counts, memstate.WorstCaseEdge(spec.DRAM.NumBanks))
-	if err != nil {
-		log.Fatal(err)
-	}
-	var logic *powermap.LogicModel
-	if spec.OnLogic {
-		logic = b.LogicPower
-	}
-	a, err := irdrop.NewObs(spec, b.DRAMPower, logic, reg)
+	spec, state := r.Spec, r.State
+	a, err := irdrop.NewObs(spec, r.Bench.DRAMPower, r.Logic, reg)
 	if err != nil {
 		log.Fatal(err)
 	}

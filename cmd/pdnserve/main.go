@@ -1,0 +1,82 @@
+// Command pdnserve serves the IR-drop analysis stack over HTTP/JSON:
+// POST /v1/analyze (one query), POST /v1/batch (fan-out), POST /v1/lut
+// (look-up-table build/probe), GET /healthz, GET /metrics. See
+// internal/serve for the request schema and the caching, admission, and
+// determinism contracts.
+//
+// On SIGINT/SIGTERM the server stops admitting (new requests get 503),
+// drains in-flight work up to -drain-timeout, then shuts the listener
+// down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pdn3d/internal/serve"
+	"pdn3d/internal/solve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdnserve: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "solver/batch worker pool size (<= 0: GOMAXPROCS)")
+	solver := flag.String("solver", "", fmt.Sprintf("solve method (%s; empty: %s)",
+		strings.Join(solve.Methods(), ", "), solve.DefaultMethod))
+	pitch := flag.Float64("pitch", 0, "mesh pitch in mm applied to queries without their own override (0: benchmark defaults)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted requests (<= 0: 2 x GOMAXPROCS)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max wait for an admission slot before 429")
+	cacheSize := flag.Int("cache", 1024, "analyze result cache entries")
+	maxBatch := flag.Int("max-batch", 256, "max queries per /v1/batch request")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+	flag.Parse()
+	if *pitch < 0 {
+		log.Fatalf("-pitch %g must be >= 0", *pitch)
+	}
+
+	s := serve.New(serve.Config{
+		Workers:     *workers,
+		Solver:      *solver,
+		MeshPitch:   *pitch,
+		MaxInFlight: *maxInflight,
+		QueueWait:   *queueWait,
+		CacheSize:   *cacheSize,
+		MaxBatch:    *maxBatch,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 5 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	//pdnlint:ignore rawgo the listener is process-lifetime background I/O like the obs debug server; internal/par pools are for bounded analysis work
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("%v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		log.Printf("%v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained, exiting")
+}

@@ -8,9 +8,6 @@ package exp
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 
 	"pdn3d/internal/bench3d"
 	"pdn3d/internal/irdrop"
@@ -21,6 +18,7 @@ import (
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
+	"pdn3d/internal/speckey"
 )
 
 // Config tunes experiment fidelity against runtime.
@@ -143,71 +141,11 @@ func (r *Runner) prepare(spec *pdn.Spec) *pdn.Spec {
 	return s
 }
 
-// keyBuilder assembles an unambiguous cache key: every field is written as
-// <len>:<bytes>, so no combination of field values can collide with a
-// different combination (unlike delimiter-joined %v formatting, where one
-// field's text can absorb the delimiter).
-type keyBuilder struct {
-	sb strings.Builder
-}
-
-func (k *keyBuilder) str(s string) {
-	k.sb.WriteString(strconv.Itoa(len(s)))
-	k.sb.WriteByte(':')
-	k.sb.WriteString(s)
-}
-
-func (k *keyBuilder) int(v int)   { k.str(strconv.Itoa(v)) }
-func (k *keyBuilder) bool(v bool) { k.str(strconv.FormatBool(v)) }
-
-// float writes the exact value (shortest round-trip form), so specs that
-// differ only past some decimal place never share a key.
-func (k *keyBuilder) float(v float64) { k.str(strconv.FormatFloat(v, 'g', -1, 64)) }
-
-// usage writes a string-keyed float map in sorted key order.
-func (k *keyBuilder) usage(m map[string]float64) {
-	keys := make([]string, 0, len(m))
-	for key := range m {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	k.int(len(keys))
-	for _, key := range keys {
-		k.str(key)
-		k.float(m[key])
-	}
-}
-
-// specKey fingerprints every spec field the R-Mesh build and power models
-// read, canonically: distinct designs cannot collide, identical designs
-// always hit the cache.
+// specKey fingerprints a design for the analyzer/LUT caches. The
+// implementation lives in internal/speckey so the serving layer's result
+// cache shares the exact same key contract.
 func specKey(s *pdn.Spec, withLogic bool) string {
-	var k keyBuilder
-	k.str(s.Name)
-	k.int(s.NumDRAM)
-	k.usage(s.Usage)
-	k.usage(s.LogicUsage)
-	k.int(s.TSVCount)
-	k.str(s.TSVStyle.String())
-	k.str(s.Bonding.String())
-	k.str(s.RDL.String())
-	k.bool(s.WireBond)
-	k.bool(s.DedicatedTSV)
-	k.bool(s.AlignTSV)
-	k.int(s.WiresPerDie)
-	k.float(s.EffMeshPitch())
-	k.bool(s.OnLogic)
-	k.bool(withLogic)
-	failed := make([]int, 0, len(s.FailedTSVs))
-	for f := range s.FailedTSVs {
-		failed = append(failed, f)
-	}
-	sort.Ints(failed)
-	k.int(len(failed))
-	for _, f := range failed {
-		k.int(f)
-	}
-	return k.sb.String()
+	return speckey.Spec(s, withLogic)
 }
 
 // analyzer returns a cached analyzer for the prepared spec, building it

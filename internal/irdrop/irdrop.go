@@ -11,6 +11,7 @@
 package irdrop
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -124,6 +125,20 @@ func (a *Analyzer) Analyze(state memstate.State, io float64) (*Result, error) {
 // exactly-once concurrency tests and solve-count accounting.
 func (a *Analyzer) Solves() int { return int(a.solves.Load()) }
 
+// AnalyzeCtx is Analyze with cooperative cancellation and WITHOUT the
+// analyzer's unbounded memoization: ctx is polled at every solver
+// iteration, so an abandoned request stops at the next iteration boundary.
+// The serving layer uses this — it brings its own bounded LRU and
+// singleflight, and per-request cancellation must not poison a shared
+// memo entry that other callers would then retry. A completed solve
+// returns values identical to Analyze's.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, state memstate.State, io float64) (*Result, error) {
+	opts := a.Opts
+	opts.Cancel = ctx.Err
+	a.solves.Add(1)
+	return a.analyzeOpts(state, io, opts)
+}
+
 // AnalyzeCounts is Analyze for a bare per-die count vector using the
 // worst-case edge placement (paper §5.1).
 func (a *Analyzer) AnalyzeCounts(counts []int, io float64) (*Result, error) {
@@ -167,6 +182,10 @@ func (a *Analyzer) LoadedRHS(state memstate.State, io float64) ([]float64, error
 }
 
 func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
+	return a.analyzeOpts(state, io, a.Opts)
+}
+
+func (a *Analyzer) analyzeOpts(state memstate.State, io float64, opts solve.Options) (*Result, error) {
 	defer a.obs.Timer("irdrop.analyze_time").Start()()
 	spec := a.Spec()
 	if state.NumDies() > spec.NumDRAM {
@@ -202,7 +221,7 @@ func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
 			return nil, err
 		}
 	}
-	v, stats, err := m.Solve(rhs, a.Opts)
+	v, stats, err := m.Solve(rhs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("irdrop: %s state %s: %w", spec.Name, state, err)
 	}

@@ -1,6 +1,8 @@
 package irdrop
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -281,5 +283,41 @@ func TestCrowdingWorseWithFewEdgeTSVs(t *testing.T) {
 	}
 	if fewMax, manyMax := get(few), get(many); fewMax <= manyMax {
 		t.Errorf("peak TSV current with 8 TSVs (%.2f mA) should exceed 128 TSVs (%.2f mA)", fewMax, manyMax)
+	}
+}
+
+// AnalyzeCtx: a canceled context aborts mid-solve; a live context produces
+// results identical to Analyze without sharing its memo (fresh pointers).
+func TestAnalyzeCtx(t *testing.T) {
+	a, err := New(coarseSpec(t), powermap.StackedDDR3Power(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := state(t, 0, 0, 0, 2)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.AnalyzeCtx(canceled, st, 1.0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+
+	fresh, err := a.AnalyzeCtx(context.Background(), st, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := a.Analyze(st, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == memo {
+		t.Error("AnalyzeCtx must not share the memoized result")
+	}
+	if fresh.MaxIR != memo.MaxIR || fresh.TotalPower != memo.TotalPower {
+		t.Errorf("AnalyzeCtx result differs: MaxIR %g vs %g", fresh.MaxIR, memo.MaxIR)
+	}
+	for d := range fresh.PerDie {
+		if fresh.PerDie[d] != memo.PerDie[d] {
+			t.Errorf("PerDie[%d] = %g vs %g", d, fresh.PerDie[d], memo.PerDie[d])
+		}
 	}
 }

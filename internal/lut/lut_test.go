@@ -1,7 +1,9 @@
 package lut
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -106,16 +108,67 @@ func TestLookupRoundsIOUp(t *testing.T) {
 	}
 }
 
-func TestLookupErrors(t *testing.T) {
+// Every miss path is a typed *NotCoveredError wrapping ErrNotCovered and
+// carrying the offending key, so callers can branch (HTTP 422, policy
+// miss counters) and report the point without string matching.
+func TestLookupErrorsAreTyped(t *testing.T) {
 	table := sharedTableFor(t)
-	if _, err := table.MaxIR([]int{0, 0, 0}, 1.0); err == nil {
-		t.Error("wrong die count: want error")
+	tests := []struct {
+		name   string
+		counts []int
+		io     float64
+	}{
+		{"wrong die count", []int{0, 0, 0}, 1.0},
+		{"count above MaxPerDie", []int{0, 0, 0, 3}, 1.0},
+		{"negative count", []int{0, 0, 0, -1}, 1.0},
+		{"io above top level", []int{0, 0, 0, 2}, 1.5},
 	}
-	if _, err := table.MaxIR([]int{0, 0, 0, 3}, 1.0); err == nil {
-		t.Error("count above MaxPerDie: want error")
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := table.MaxIR(tc.counts, tc.io)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, ErrNotCovered) {
+				t.Fatalf("error %v does not wrap ErrNotCovered", err)
+			}
+			var nce *NotCoveredError
+			if !errors.As(err, &nce) {
+				t.Fatalf("error %v is not a *NotCoveredError", err)
+			}
+			if !reflect.DeepEqual(nce.Counts, tc.counts) || nce.IO != tc.io {
+				t.Errorf("error key = %v@%g, want %v@%g", nce.Counts, nce.IO, tc.counts, tc.io)
+			}
+		})
 	}
-	if _, err := table.MaxIR([]int{0, 0, 0, -1}, 1.0); err == nil {
-		t.Error("negative count: want error")
+}
+
+// Points dumps the grid deterministically: lexicographic states, ascending
+// IO levels, full coverage.
+func TestPointsDeterministicAndComplete(t *testing.T) {
+	table := sharedTableFor(t)
+	pts := table.Points()
+	if len(pts) != table.Entries() {
+		t.Fatalf("Points returned %d entries, table has %d", len(pts), table.Entries())
+	}
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		cmp := 0
+		for d := range a.Counts {
+			if a.Counts[d] != b.Counts[d] {
+				cmp = a.Counts[d] - b.Counts[d]
+				break
+			}
+		}
+		if cmp > 0 || (cmp == 0 && a.IO >= b.IO) {
+			t.Fatalf("points out of order at %d: %v@%g then %v@%g", i, a.Counts, a.IO, b.Counts, b.IO)
+		}
+	}
+	for _, p := range pts {
+		v, err := table.MaxIR(p.Counts, p.IO)
+		if err != nil || v != p.MaxIR {
+			t.Fatalf("point %v@%g disagrees with MaxIR: %g vs %g (%v)", p.Counts, p.IO, p.MaxIR, v, err)
+		}
 	}
 }
 

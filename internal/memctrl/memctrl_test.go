@@ -4,7 +4,71 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"pdn3d/internal/lut"
 )
+
+// tinyLUT builds a table via FromPoints covering per-die counts up to
+// maxPerDie for a 2-die stack at IO levels {0.5, 1.0}, with every stored
+// drop equal to irV.
+func tinyLUT(t *testing.T, maxPerDie int, irV float64) *lut.Table {
+	t.Helper()
+	var pts []lut.Point
+	for a := 0; a <= maxPerDie; a++ {
+		for b := 0; b <= maxPerDie; b++ {
+			for _, io := range []float64{0.5, 1.0} {
+				pts = append(pts, lut.Point{Counts: []int{a, b}, IO: io, MaxIR: irV})
+			}
+		}
+	}
+	table, err := lut.FromPoints(2, maxPerDie, []float64{0.5, 1.0}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+// An undersized LUT must not silently throttle: uncovered states are
+// still treated conservatively (blocked / not recorded) but the misses
+// are surfaced on the result.
+func TestLUTMissesAreCounted(t *testing.T) {
+	table := tinyLUT(t, 1, 0.010)
+	s := &sim{cfg: DefaultConfig(PolicyIRAware, FCFS, table, 0.030)}
+	s.cfg.Dies = 2
+	s.cfg.BanksPerDie = 8
+	s.openPerDie = []int{2, 0} // two open banks: outside the maxPerDie=1 grid
+
+	s.observeIR()
+	if s.res.LUTMisses != 1 {
+		t.Fatalf("observeIR on uncovered state: LUTMisses = %d, want 1", s.res.LUTMisses)
+	}
+	if s.res.MaxIR != 0 {
+		t.Errorf("uncovered state leaked an IR value: %g", s.res.MaxIR)
+	}
+
+	// mayActivate's IR check (one open bank plus the new activation = two,
+	// outside the maxPerDie=1 grid) is blocked AND counted.
+	s.openPerDie = []int{1, 0}
+	blockedBefore := s.res.Blocked
+	if s.mayActivate(0) {
+		t.Error("activation into an uncovered state should be blocked")
+	}
+	if s.res.Blocked != blockedBefore+1 {
+		t.Errorf("Blocked = %d, want %d", s.res.Blocked, blockedBefore+1)
+	}
+	if s.res.LUTMisses != 2 {
+		t.Errorf("LUTMisses = %d, want 2", s.res.LUTMisses)
+	}
+
+	// A covered, under-limit state neither blocks nor counts a miss.
+	s.openPerDie = []int{0, 0}
+	if !s.mayActivate(1) {
+		t.Error("covered under-limit activation should pass")
+	}
+	if s.res.LUTMisses != 2 {
+		t.Errorf("covered lookup bumped LUTMisses to %d", s.res.LUTMisses)
+	}
+}
 
 func TestTimingValidate(t *testing.T) {
 	if err := DDR3_1600().Validate(); err != nil {

@@ -157,10 +157,14 @@ func (s *sim) mayActivate(die int) bool {
 		}
 		return true
 	default: // PolicyIRAware
-		// Check the state the activation creates...
+		// Check the state the activation creates... An uncovered LUT
+		// point (lut.ErrNotCovered) blocks like an over-limit state —
+		// conservative — but is also counted as a miss so an undersized
+		// table is visible in the result instead of silently throttling.
 		counts, _ := s.countsAndActive(die, 1)
 		ir, err := s.cfg.LUT.MaxIR(counts, perDieIO(counts, s.cfg.MaxBanksPerDie))
 		if err != nil || ir > s.cfg.IRLimit {
+			s.noteLUTMiss(err)
 			s.res.Blocked++
 			return false
 		}
@@ -170,6 +174,7 @@ func (s *sim) mayActivate(die int) bool {
 		alone[die] = s.openPerDie[die] + 1
 		ir, err = s.cfg.LUT.MaxIR(alone, 1.0)
 		if err != nil || ir > s.cfg.IRLimit {
+			s.noteLUTMiss(err)
 			s.res.Blocked++
 			return false
 		}

@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"errors"
 	"fmt"
 
 	"pdn3d/internal/lut"
@@ -171,6 +172,12 @@ type Result struct {
 	// Blocked counts scheduling attempts rejected by the IR constraint
 	// or the standard policy's windows.
 	Blocked int64
+	// LUTMisses counts look-ups that fell outside the built LUT grid
+	// (lut.ErrNotCovered). The policy stays conservative on a miss —
+	// the state is treated as over-limit — but a non-zero count means
+	// the table was built too small for the simulated configuration, so
+	// it is surfaced instead of silently swallowed.
+	LUTMisses int64
 }
 
 type bankState uint8
@@ -317,8 +324,21 @@ func (s *sim) observeIR() {
 		return
 	}
 	ir, err := s.cfg.LUT.MaxIR(counts, perDieIO(counts, s.cfg.MaxBanksPerDie))
-	if err == nil && ir > s.res.MaxIR {
+	if err != nil {
+		s.noteLUTMiss(err)
+		return
+	}
+	if ir > s.res.MaxIR {
 		s.res.MaxIR = ir
+	}
+}
+
+// noteLUTMiss records an uncovered LUT point instead of silently ignoring
+// it; other look-up failures cannot happen (MaxIR only fails with
+// *NotCoveredError), but the errors.Is guard keeps that assumption checked.
+func (s *sim) noteLUTMiss(err error) {
+	if errors.Is(err, lut.ErrNotCovered) {
+		s.res.LUTMisses++
 	}
 }
 

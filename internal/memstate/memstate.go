@@ -169,19 +169,47 @@ func (s State) Key() string {
 	return sb.String()
 }
 
-// ParseCounts parses "0-0-0-2" into per-die counts.
+// ParseCounts parses "0-0-0-2" into per-die counts. It rejects malformed
+// syntax (empty or non-numeric components, negative counts) but knows
+// nothing about the target design; use ParseCountsFor to also enforce the
+// die count and per-die bank cap.
 func ParseCounts(s string) ([]int, error) {
 	parts := strings.Split(s, "-")
 	out := make([]int, len(parts))
 	for i, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("memstate: bad state %q: empty count at position %d", s, i+1)
+		}
+		n, err := strconv.Atoi(p)
 		if err != nil {
-			return nil, fmt.Errorf("memstate: bad state %q: %v", s, err)
+			return nil, fmt.Errorf("memstate: bad state %q: %q is not a count", s, p)
 		}
 		if n < 0 {
-			return nil, fmt.Errorf("memstate: bad state %q: negative count", s)
+			return nil, fmt.Errorf("memstate: bad state %q: negative count %d", s, n)
 		}
 		out[i] = n
+	}
+	return out, nil
+}
+
+// ParseCountsFor parses "R1-R2-...-Rn" and validates it against a design:
+// exactly dies components, each in [0, banksPerDie]. Every entry point that
+// accepts user state strings — the CLIs and the analysis server — goes
+// through this one function, so malformed states fail with one consistent
+// "memstate: bad state ..." error format everywhere.
+func ParseCountsFor(s string, dies, banksPerDie int) ([]int, error) {
+	out, err := ParseCounts(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != dies {
+		return nil, fmt.Errorf("memstate: bad state %q: %d dies, design has %d", s, len(out), dies)
+	}
+	for d, n := range out {
+		if n > banksPerDie {
+			return nil, fmt.Errorf("memstate: bad state %q: %d active banks on die %d exceed %d banks per die", s, n, d+1, banksPerDie)
+		}
 	}
 	return out, nil
 }

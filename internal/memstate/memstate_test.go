@@ -2,6 +2,7 @@ package memstate
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -49,10 +50,47 @@ func TestParseCounts(t *testing.T) {
 	if !reflect.DeepEqual(got, []int{0, 0, 2, 2}) {
 		t.Errorf("ParseCounts = %v", got)
 	}
-	for _, bad := range []string{"0-x-0-0", "0--1-0", "1--2"} {
+	for _, bad := range []string{"", "0-x-0-0", "0--1-0", "1--2", "-1-0-0-0", "0-0-0-", "0-0- -0", "1.5-0-0-0"} {
 		if _, err := ParseCounts(bad); err == nil {
 			t.Errorf("ParseCounts(%q): want error", bad)
 		}
+	}
+}
+
+func TestParseCountsFor(t *testing.T) {
+	got, err := ParseCountsFor("0-0-0-2", 4, 8)
+	if err != nil {
+		t.Fatalf("ParseCountsFor: %v", err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 0, 0, 2}) {
+		t.Errorf("ParseCountsFor = %v", got)
+	}
+	tests := []struct {
+		name    string
+		s       string
+		dies    int
+		banks   int
+		wantErr string
+	}{
+		{"wrong die count short", "0-0-2", 4, 8, "3 dies, design has 4"},
+		{"wrong die count long", "0-0-0-0-2", 4, 8, "5 dies, design has 4"},
+		{"count over banks", "0-0-0-9", 4, 8, "exceed 8 banks per die"},
+		{"negative", "0-0-0--2", 4, 8, "bad state"},
+		{"garbage", "zero-0-0-0", 4, 8, "is not a count"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseCountsFor(tc.s, tc.dies, tc.banks)
+			if err == nil {
+				t.Fatalf("ParseCountsFor(%q, %d, %d): want error", tc.s, tc.dies, tc.banks)
+			}
+			if !strings.Contains(err.Error(), "memstate: bad state") {
+				t.Errorf("error %q missing the consistent prefix", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

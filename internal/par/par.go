@@ -207,6 +207,18 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error) {
 	return f.val, f.err
 }
 
+// Forget drops the completed value for key, so the next Do runs fn again.
+// An in-flight call for the key is unaffected: it still completes and
+// caches its own result. Layering a bounded cache on top of a Group —
+// check the cache, Do on miss, then move the value into the cache and
+// Forget — keeps the Group holding only in-flight work while the external
+// cache enforces the size bound.
+func (g *Group[V]) Forget(key string) {
+	g.mu.Lock()
+	delete(g.done, key)
+	g.mu.Unlock()
+}
+
 // Cached returns the completed value for key, if any.
 func (g *Group[V]) Cached(key string) (V, bool) {
 	g.mu.Lock()

@@ -160,3 +160,26 @@ func TestGroupDoesNotCacheErrors(t *testing.T) {
 		t.Fatalf("Cached = %d, %v", v, ok)
 	}
 }
+
+func TestGroupForget(t *testing.T) {
+	var g Group[int]
+	runs := 0
+	fn := func() (int, error) { runs++; return runs, nil }
+	if v, _ := g.Do("k", fn); v != 1 {
+		t.Fatalf("first Do = %d", v)
+	}
+	if v, _ := g.Do("k", fn); v != 1 {
+		t.Fatalf("cached Do = %d, want 1", v)
+	}
+	g.Forget("k")
+	if _, ok := g.Cached("k"); ok {
+		t.Fatal("Forget left the key cached")
+	}
+	if v, _ := g.Do("k", fn); v != 2 {
+		t.Fatalf("Do after Forget = %d, want 2 (fn re-run)", v)
+	}
+	g.Forget("never-stored") // no-op, must not panic
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}

@@ -1,0 +1,49 @@
+package pdn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseTSVLocation parses a TSV placement style name ("C", "E", "D",
+// case-insensitive), mirroring TSVLocation.String.
+func ParseTSVLocation(s string) (TSVLocation, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "C":
+		return CenterTSV, nil
+	case "E":
+		return EdgeTSV, nil
+	case "D":
+		return DistributedTSV, nil
+	default:
+		return 0, fmt.Errorf("pdn: unknown TSV style %q (want C, E, or D)", s)
+	}
+}
+
+// ParseBonding parses a bonding style name ("F2B" or "F2F",
+// case-insensitive), mirroring Bonding.String.
+func ParseBonding(s string) (Bonding, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "F2B":
+		return F2B, nil
+	case "F2F":
+		return F2F, nil
+	default:
+		return 0, fmt.Errorf("pdn: unknown bonding %q (want F2B or F2F)", s)
+	}
+}
+
+// ParseRDL parses an RDL option name ("none", "interface", "all",
+// case-insensitive), mirroring RDLOption.String.
+func ParseRDL(s string) (RDLOption, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return RDLNone, nil
+	case "interface":
+		return RDLInterface, nil
+	case "all":
+		return RDLAll, nil
+	default:
+		return 0, fmt.Errorf("pdn: unknown RDL option %q (want none, interface, or all)", s)
+	}
+}

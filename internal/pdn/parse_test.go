@@ -1,0 +1,47 @@
+package pdn
+
+import "testing"
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, l := range []TSVLocation{CenterTSV, EdgeTSV, DistributedTSV} {
+		got, err := ParseTSVLocation(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseTSVLocation(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	for _, b := range []Bonding{F2B, F2F} {
+		got, err := ParseBonding(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBonding(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	for _, r := range []RDLOption{RDLNone, RDLInterface, RDLAll} {
+		got, err := ParseRDL(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRDL(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+}
+
+func TestParseCaseAndRejects(t *testing.T) {
+	if got, err := ParseTSVLocation(" e "); err != nil || got != EdgeTSV {
+		t.Errorf("ParseTSVLocation(\" e \") = %v, %v", got, err)
+	}
+	if got, err := ParseBonding("f2f"); err != nil || got != F2F {
+		t.Errorf("ParseBonding(\"f2f\") = %v, %v", got, err)
+	}
+	if got, err := ParseRDL("Interface"); err != nil || got != RDLInterface {
+		t.Errorf("ParseRDL(\"Interface\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "X", "F2X", "both"} {
+		if _, err := ParseTSVLocation(bad); err == nil {
+			t.Errorf("ParseTSVLocation(%q): want error", bad)
+		}
+		if _, err := ParseBonding(bad); err == nil {
+			t.Errorf("ParseBonding(%q): want error", bad)
+		}
+		if _, err := ParseRDL(bad); err == nil {
+			t.Errorf("ParseRDL(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded bounded cache with least-recently-used eviction.
+// It layers on top of par.Group per the Group.Forget contract: callers
+// check the lru, Do on the group on miss, then put the value here and
+// Forget it from the group — the group holds only in-flight work while the
+// lru enforces the size bound.
+type lru[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lru[V]) put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.Value.(*lruEntry[V]).val = v
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

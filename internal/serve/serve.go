@@ -1,0 +1,637 @@
+// Package serve is the long-running HTTP/JSON surface over the IR-drop
+// analysis stack: pdnserve exposes single analyses (/v1/analyze), batched
+// fan-out (/v1/batch), look-up-table builds (/v1/lut), liveness
+// (/healthz), and metrics (/metrics) over the same query.Query schema the
+// irsim CLI validates, so the two entry points cannot drift.
+//
+// The serving layers, outermost first:
+//
+//   - Admission control: a semaphore caps in-flight requests; a request
+//     that cannot get a slot within the queue-wait budget is rejected
+//     with 429, and every request is rejected with 503 once draining
+//     starts.
+//   - Result cache: a bounded LRU keyed by the canonical speckey-framed
+//     cache key (design fingerprint, explicit state, I/O activity), so
+//     equivalent spellings of one query share a single entry and repeat
+//     queries never re-solve.
+//   - Singleflight: concurrent misses on one cache key collapse to a
+//     single solve via par.Group; the group is Forgotten after the value
+//     moves into the LRU, so only in-flight work lives in it.
+//   - Cancellation: each solve runs under the request context through
+//     irdrop.AnalyzeCtx, so an abandoned connection stops burning CPU at
+//     the next solver-iteration boundary.
+//
+// Responses carry only deterministic fields (no timings, no timestamps):
+// for a given request the body is byte-identical across runs and across
+// worker counts, which is what makes the cache sound and the service
+// regression-testable.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/lut"
+	"pdn3d/internal/memstate"
+	"pdn3d/internal/obs"
+	"pdn3d/internal/par"
+	"pdn3d/internal/query"
+	"pdn3d/internal/speckey"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers bounds the solver kernels and the batch fan-out pool.
+	// <= 0 selects GOMAXPROCS. Results are identical for every value.
+	Workers int
+	// Solver names the solve method (empty selects the default).
+	Solver string
+	// MeshPitch, when > 0, is the mesh pitch (mm) applied to queries that
+	// do not override the pitch themselves — the server-wide
+	// fidelity/latency knob.
+	MeshPitch float64
+
+	// MaxInFlight caps concurrently admitted requests; <= 0 selects
+	// 2 x GOMAXPROCS.
+	MaxInFlight int
+	// QueueWait bounds how long a request may wait for an admission slot
+	// before a 429; <= 0 selects 1s.
+	QueueWait time.Duration
+	// CacheSize bounds the analyze result LRU (entries); <= 0 selects 1024.
+	CacheSize int
+	// DesignCacheSize bounds the analyzer and LUT LRUs (distinct designs
+	// held in memory); <= 0 selects 64.
+	DesignCacheSize int
+	// MaxBatch caps queries per /v1/batch request; <= 0 selects 256.
+	MaxBatch int
+
+	// Reg receives serving metrics; nil allocates a private registry (the
+	// /metrics endpoint works either way).
+	Reg *obs.Registry
+}
+
+// Server is the HTTP handler. Create with New; it is safe for concurrent
+// use and implements http.Handler.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	sem      chan struct{}
+	draining atomic.Bool
+
+	// Analyze results: bounded LRU of marshaled bodies over a
+	// singleflight group (see lru doc).
+	results *lru[[]byte]
+	flights par.Group[[]byte]
+
+	// Per-design caches: analyzers (conductance matrix + solver) and
+	// built LUTs, same LRU-over-group layering.
+	analyzers *lru[*irdrop.Analyzer]
+	aflights  par.Group[*irdrop.Analyzer]
+	luts      *lru[*lut.Table]
+	lflights  par.Group[*lut.Table]
+
+	cacheHits, cacheMisses *obs.Counter
+	admitted               *obs.Counter
+	rejectedBusy           *obs.Counter
+	rejectedDraining       *obs.Counter
+}
+
+// New builds a Server from cfg, filling defaults.
+func New(cfg Config) *Server {
+	if cfg.Reg == nil {
+		cfg.Reg = obs.NewRegistry()
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = time.Second
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.DesignCacheSize <= 0 {
+		cfg.DesignCacheSize = 64
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Reg,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		results:   newLRU[[]byte](cfg.CacheSize),
+		analyzers: newLRU[*irdrop.Analyzer](cfg.DesignCacheSize),
+		luts:      newLRU[*lut.Table](cfg.DesignCacheSize),
+	}
+	s.flights.Hits = s.reg.Counter("serve.flight.hits")
+	s.flights.Misses = s.reg.Counter("serve.flight.misses")
+	s.cacheHits = s.reg.Counter("serve.cache.hits")
+	s.cacheMisses = s.reg.Counter("serve.cache.misses")
+	s.admitted = s.reg.Counter("serve.admission.admitted")
+	s.rejectedBusy = s.reg.Counter("serve.admission.rejected_busy")
+	s.rejectedDraining = s.reg.Counter("serve.admission.rejected_draining")
+
+	s.mux.HandleFunc("/v1/analyze", s.throttled("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("/v1/batch", s.throttled("batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/lut", s.throttled("lut", s.handleLUT))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s.mux.ServeHTTP(w, req)
+}
+
+// Registry returns the metrics registry the server reports into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Drain stops admitting new work (requests get 503, /healthz flips to
+// 503) and waits for every in-flight request to finish, by acquiring all
+// admission slots. It returns ctx's error if the deadline passes with
+// work still in flight. Drain is terminal: the server never admits again.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for i := 0; i < cap(s.sem); i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d of %d slots still busy: %w",
+				cap(s.sem)-i, cap(s.sem), ctx.Err())
+		}
+	}
+	return nil
+}
+
+// acquire claims an admission slot within the queue-wait budget. It
+// returns a release func on success, or the HTTP status to reject with.
+func (s *Server) acquire(ctx context.Context) (func(), int) {
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		return nil, http.StatusServiceUnavailable
+	}
+	stop := s.reg.Timer("serve.admission.queue_wait").Start()
+	defer stop()
+	wctx, cancel := context.WithTimeout(ctx, s.cfg.QueueWait)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+		// Re-check: a drain that started while we queued owns the server
+		// now; hand the slot straight to it.
+		if s.draining.Load() {
+			<-s.sem
+			s.rejectedDraining.Add(1)
+			return nil, http.StatusServiceUnavailable
+		}
+		s.admitted.Add(1)
+		return func() { <-s.sem }, 0
+	case <-wctx.Done():
+		s.rejectedBusy.Add(1)
+		return nil, http.StatusTooManyRequests
+	}
+}
+
+// throttled wraps a POST handler with method check, request counting, and
+// admission control. A whole batch holds one slot: MaxInFlight bounds
+// admitted HTTP requests, Workers bounds solver parallelism within them.
+func (s *Server) throttled(name string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := s.reg.Counter("serve." + name + ".requests")
+	return func(w http.ResponseWriter, req *http.Request) {
+		ctr.Add(1)
+		if req.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires POST", req.URL.Path))
+			return
+		}
+		release, status := s.acquire(req.Context())
+		if status != 0 {
+			writeErr(w, status, errors.New("serve: over capacity"))
+			return
+		}
+		defer release()
+		h(w, req)
+	}
+}
+
+// AnalyzeResponse is the /v1/analyze result body. Every field is
+// deterministic — no timings or timestamps — so a given query marshals to
+// byte-identical bodies across runs and worker counts.
+type AnalyzeResponse struct {
+	// Design is the resolved spec name.
+	Design string `json:"design"`
+	// Bench echoes the requested benchmark.
+	Bench string `json:"bench"`
+	// State is the canonical "R1-R2-...-Rn" per-die active-bank state.
+	State string `json:"state"`
+	// IO is the per-die I/O activity analyzed.
+	IO float64 `json:"io"`
+	// MaxIRmV is the stack maximum IR drop in millivolts.
+	MaxIRmV float64 `json:"max_ir_mv"`
+	// PerDieMV is the per-DRAM-die maximum IR drop in millivolts.
+	PerDieMV []float64 `json:"per_die_mv"`
+	// LogicIRmV is the logic die maximum IR drop (omitted off-chip).
+	LogicIRmV float64 `json:"logic_ir_mv,omitempty"`
+	// TotalPowerMW is the summed DRAM stack power in milliwatts.
+	TotalPowerMW float64 `json:"total_power_mw"`
+	// Iterations reports the solver iteration count.
+	Iterations int `json:"iterations"`
+	// Converged reports solver convergence.
+	Converged bool `json:"converged"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
+	var q query.Query
+	if err := decodeJSON(req, &q); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	body, status, err := s.analyzeOne(req.Context(), q)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// analyzeOne runs one query through resolve -> LRU -> singleflight ->
+// solve and returns the marshaled response body. On error the returned
+// status is the HTTP status the error maps to.
+func (s *Server) analyzeOne(ctx context.Context, q query.Query) ([]byte, int, error) {
+	r, err := q.Resolve()
+	if err != nil {
+		return nil, statusFor(err), err
+	}
+	if s.cfg.MeshPitch > 0 && q.Pitch == 0 {
+		r.Spec.MeshPitch = s.cfg.MeshPitch
+	}
+	key := r.CacheKey()
+	if body, ok := s.results.get(key); ok {
+		s.cacheHits.Add(1)
+		return body, http.StatusOK, nil
+	}
+	s.cacheMisses.Add(1)
+	body, err := s.flights.Do(key, func() ([]byte, error) {
+		a, err := s.analyzerFor(r)
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.AnalyzeCtx(ctx, r.State, r.Query.IO)
+		if err != nil {
+			return nil, err
+		}
+		return marshalAnalyze(r, res)
+	})
+	if err != nil {
+		// Not cached (Group drops failed calls), so a retry after a
+		// transient failure — e.g. a canceled first caller — re-solves.
+		return nil, statusFor(err), err
+	}
+	s.results.put(key, body)
+	s.flights.Forget(key)
+	return body, http.StatusOK, nil
+}
+
+func marshalAnalyze(r *query.Resolved, res *irdrop.Result) ([]byte, error) {
+	perDie := make([]float64, len(res.PerDie))
+	for i, v := range res.PerDie {
+		perDie[i] = v * 1000
+	}
+	return json.Marshal(&AnalyzeResponse{
+		Design:       r.Spec.Name,
+		Bench:        r.Query.Bench,
+		State:        countsString(r.Counts),
+		IO:           r.Query.IO,
+		MaxIRmV:      res.MaxIRmV(),
+		PerDieMV:     perDie,
+		LogicIRmV:    res.LogicIRmV(),
+		TotalPowerMW: res.TotalPower,
+		Iterations:   res.Stats.Iterations,
+		Converged:    res.Stats.Converged,
+	})
+}
+
+// analyzerFor returns the analyzer for the resolved design, building at
+// most one per design key under singleflight.
+func (s *Server) analyzerFor(r *query.Resolved) (*irdrop.Analyzer, error) {
+	key := r.SpecKey()
+	if a, ok := s.analyzers.get(key); ok {
+		return a, nil
+	}
+	a, err := s.aflights.Do(key, func() (*irdrop.Analyzer, error) {
+		a, err := irdrop.NewObs(r.Spec, r.Bench.DRAMPower, r.Logic, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		a.Opts.Method = s.cfg.Solver
+		a.Opts.Workers = s.cfg.Workers
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.analyzers.put(key, a)
+	s.aflights.Forget(key)
+	return a, nil
+}
+
+// BatchRequest is the /v1/batch body: independent queries fanned out over
+// the worker pool.
+type BatchRequest struct {
+	// Queries are the analyses to run.
+	Queries []query.Query `json:"queries"`
+	// TimeoutMS, when > 0, bounds the whole batch; items not finished in
+	// time fail individually with status 503.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one per-query outcome. The batch never aborts as a whole:
+// each item carries its own result or error in its input position.
+type BatchItem struct {
+	// OK reports whether the query succeeded.
+	OK bool `json:"ok"`
+	// Status is the HTTP status the item would have had standalone.
+	Status int `json:"status"`
+	// Result is the AnalyzeResponse body (present when OK).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error describes the failure (present when !OK).
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/batch result body.
+type BatchResponse struct {
+	// Results holds one item per input query, in input order.
+	Results []BatchItem `json:"results"`
+	// Failed counts items with OK == false.
+	Failed int `json:"failed"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	var breq BatchRequest
+	if err := decodeJSON(req, &breq); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(breq.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("serve: batch has no queries"))
+		return
+	}
+	if len(breq.Queries) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: batch of %d exceeds limit %d", len(breq.Queries), s.cfg.MaxBatch))
+		return
+	}
+	s.reg.Counter("serve.batch.items").Add(int64(len(breq.Queries)))
+	ctx := req.Context()
+	if breq.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(breq.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(breq.Queries))}
+	// Never-abort fan-out: fn always returns nil so one bad query cannot
+	// cancel its siblings; each failure lands in its item's slot.
+	_ = par.SweepWith(s.cfg.Workers, len(breq.Queries), s.reg.SweepMetrics("serve.batch.sweep"), func(i int) error {
+		body, status, err := s.analyzeOne(ctx, breq.Queries[i])
+		if err != nil {
+			resp.Results[i] = BatchItem{Status: status, Error: err.Error()}
+			return nil
+		}
+		resp.Results[i] = BatchItem{OK: true, Status: http.StatusOK, Result: body}
+		return nil
+	})
+	for _, it := range resp.Results {
+		if !it.OK {
+			resp.Failed++
+		}
+	}
+	s.reg.Counter("serve.batch.item_errors").Add(int64(resp.Failed))
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// LUTRequest is the /v1/lut body: the design-selecting query fields (state
+// and io are ignored), the table grid, and an optional probe.
+type LUTRequest struct {
+	query.Query
+	// MaxPerDie bounds per-die active banks in the grid; <= 0 selects the
+	// interleaving cap.
+	MaxPerDie int `json:"max_per_die,omitempty"`
+	// IOLevels are the covered activity levels; empty selects the default
+	// grid.
+	IOLevels []float64 `json:"io_levels,omitempty"`
+	// Full includes every grid point in the response.
+	Full bool `json:"full,omitempty"`
+	// Probe, when set, looks one (state, io) up in the table; a point
+	// outside the grid fails the request with 422.
+	Probe *LUTProbe `json:"probe,omitempty"`
+}
+
+// LUTProbe is one table lookup.
+type LUTProbe struct {
+	// State is the per-die count state "R1-R2-...-Rn".
+	State string `json:"state"`
+	// IO is the activity level (rounded up to the nearest covered level).
+	IO float64 `json:"io"`
+}
+
+// LUTPoint is one grid point in a full LUT response.
+type LUTPoint struct {
+	Counts  []int   `json:"counts"`
+	IO      float64 `json:"io"`
+	MaxIRmV float64 `json:"max_ir_mv"`
+}
+
+// LUTResponse is the /v1/lut result body.
+type LUTResponse struct {
+	Design    string    `json:"design"`
+	Bench     string    `json:"bench"`
+	Dies      int       `json:"dies"`
+	MaxPerDie int       `json:"max_per_die"`
+	IOLevels  []float64 `json:"io_levels"`
+	Entries   int       `json:"entries"`
+	WorstIRmV float64   `json:"worst_ir_mv"`
+	// Points holds the full grid in deterministic order (Full only).
+	Points []LUTPoint `json:"points,omitempty"`
+	// ProbeMaxIRmV is the probed lookup result (Probe only).
+	ProbeMaxIRmV *float64 `json:"probe_max_ir_mv,omitempty"`
+}
+
+func (s *Server) handleLUT(w http.ResponseWriter, req *http.Request) {
+	var lreq LUTRequest
+	if err := decodeJSON(req, &lreq); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	r, err := lreq.Query.ResolveDesign()
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	if s.cfg.MeshPitch > 0 && lreq.Pitch == 0 {
+		r.Spec.MeshPitch = s.cfg.MeshPitch
+	}
+	maxPerDie := lreq.MaxPerDie
+	if maxPerDie <= 0 {
+		maxPerDie = memstate.MaxInterleavedBanks
+	}
+	levels := lreq.IOLevels
+	if len(levels) == 0 {
+		levels = lut.DefaultIOLevels()
+	}
+	t, err := s.lutFor(r, maxPerDie, levels)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	resp := LUTResponse{
+		Design:    r.Spec.Name,
+		Bench:     r.Query.Bench,
+		Dies:      t.Dies,
+		MaxPerDie: t.MaxPerDie,
+		IOLevels:  t.IOLevels,
+		Entries:   t.Entries(),
+		WorstIRmV: t.WorstIR() * 1000,
+	}
+	if lreq.Full {
+		for _, p := range t.Points() {
+			resp.Points = append(resp.Points, LUTPoint{Counts: p.Counts, IO: p.IO, MaxIRmV: p.MaxIR * 1000})
+		}
+	}
+	if lreq.Probe != nil {
+		counts, err := memstate.ParseCountsFor(lreq.Probe.State, r.Spec.NumDRAM, r.Spec.DRAM.NumBanks)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ir, err := t.MaxIR(counts, lreq.Probe.IO)
+		if err != nil {
+			// lut.ErrNotCovered maps to 422: the request parsed fine but
+			// asks for a point outside the covered grid.
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		mv := ir * 1000
+		resp.ProbeMaxIRmV = &mv
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// lutFor returns the cached table for the design grid, building at most
+// one per key under singleflight.
+func (s *Server) lutFor(r *query.Resolved, maxPerDie int, levels []float64) (*lut.Table, error) {
+	var kb speckey.Builder
+	kb.Str(r.SpecKey())
+	kb.Int(maxPerDie)
+	for _, io := range levels {
+		kb.Float(io)
+	}
+	key := kb.String()
+	if t, ok := s.luts.get(key); ok {
+		return t, nil
+	}
+	t, err := s.lflights.Do(key, func() (*lut.Table, error) {
+		a, err := s.analyzerFor(r)
+		if err != nil {
+			return nil, err
+		}
+		return lut.BuildWith(a, maxPerDie, levels, s.cfg.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.luts.put(key, t)
+	s.lflights.Forget(key)
+	return t, nil
+}
+
+type healthBody struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, &healthBody{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, &healthBody{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(s.reg.JSON())
+}
+
+// statusFor maps an error to its HTTP status: validation failures are
+// 400, LUT coverage misses 422, cancellations 503, everything else 500.
+func statusFor(err error) int {
+	var fe *query.FieldError
+	switch {
+	case errors.As(err, &fe):
+		return http.StatusBadRequest
+	case errors.Is(err, lut.ErrNotCovered):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeJSON(req *http.Request, v interface{}) error {
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, &errBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"serve: response marshal failed"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, b)
+}
+
+func writeBody(w http.ResponseWriter, status int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// countsString renders a count vector in the paper's "R1-R2-...-Rn"
+// notation — the canonical state spelling echoed in responses.
+func countsString(counts []int) string {
+	var sb strings.Builder
+	for i, c := range counts {
+		if i > 0 {
+			sb.WriteByte('-')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}

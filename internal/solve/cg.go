@@ -24,6 +24,14 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter caps the iteration count. Zero selects 10·n.
 	MaxIter int
+	// Cancel, when non-nil, is polled once per iteration; a non-nil
+	// return aborts the solve with that error wrapped. This is how
+	// per-request context cancellation reaches the iteration loop:
+	// callers set Cancel = ctx.Err so an abandoned request stops burning
+	// CPU at the next iteration boundary instead of running to
+	// convergence. Cancellation never changes the values a completed
+	// solve returns.
+	Cancel func() error
 }
 
 // CGStats reports how a solve went.
@@ -110,6 +118,11 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 	rz := k.dot(r, z)
 	stats := CGStats{}
 	for it := 0; it < maxIter; it++ {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				return nil, stats, fmt.Errorf("solve: canceled at iteration %d: %w", it, err)
+			}
+		}
 		k.mulVec(a, ap, p)
 		pap := k.dot(p, ap)
 		if pap <= 0 {

@@ -312,3 +312,61 @@ func TestICApplyIsSPDAction(t *testing.T) {
 		}
 	}
 }
+
+// Cancellation is polled at iteration boundaries: a Cancel that trips
+// after k iterations aborts with the cause wrapped; a nil / never-firing
+// Cancel changes nothing.
+func TestCGCancel(t *testing.T) {
+	a := ladder(200, 1, 1)
+	b := make([]float64, 200)
+	b[199] = 1
+
+	cause := errors.New("deadline exceeded")
+	calls := 0
+	_, stats, err := CG(a, b, CGOptions{Cancel: func() error {
+		calls++
+		if calls > 3 {
+			return cause
+		}
+		return nil
+	}})
+	if !errors.Is(err, cause) {
+		t.Fatalf("canceled solve returned %v, want wrapped %v", err, cause)
+	}
+	if stats.Converged {
+		t.Error("canceled solve claims convergence")
+	}
+
+	// A cancel hook that never fires must not perturb the solution.
+	plain, _, err := CG(a, b, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, _, err := CG(a, b, CGOptions{Cancel: func() error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != hooked[i] {
+			t.Fatalf("cancel hook changed the solution at %d: %g vs %g", i, plain[i], hooked[i])
+		}
+	}
+}
+
+// The dense path honors a pre-tripped Cancel before factorized solves.
+func TestCholeskyCancel(t *testing.T) {
+	a := ladder(16, 1, 1)
+	s, err := New(a, Options{Method: MethodCholesky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 16)
+	b[15] = 1
+	cause := errors.New("client went away")
+	if _, _, err := s.Solve(b, CGOptions{Cancel: func() error { return cause }}); !errors.Is(err, cause) {
+		t.Fatalf("Solve = %v, want wrapped %v", err, cause)
+	}
+	if _, _, err := s.Solve(b, CGOptions{}); err != nil {
+		t.Fatalf("uncanceled solve failed: %v", err)
+	}
+}

@@ -175,7 +175,14 @@ type cholSolver struct {
 
 func (s *cholSolver) Method() string { return MethodCholesky }
 
-func (s *cholSolver) Solve(b []float64, _ CGOptions) ([]float64, CGStats, error) {
+func (s *cholSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	// The dense triangular solves have no iteration boundary to poll, so
+	// cancellation is honored only before the work starts.
+	if opt.Cancel != nil {
+		if err := opt.Cancel(); err != nil {
+			return nil, CGStats{}, fmt.Errorf("solve: canceled: %w", err)
+		}
+	}
 	stop := s.m.solveTime.Start()
 	x, err := s.c.Solve(b)
 	stop()

@@ -1,0 +1,89 @@
+// Package speckey canonically fingerprints pdn.Spec designs for cache
+// keys. One implementation serves every caching layer — the experiment
+// runner's analyzer/LUT caches and the serving layer's result cache — so
+// the cache-key contract ("distinct designs cannot collide, identical
+// designs always hit") is defined in exactly one place.
+package speckey
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"pdn3d/internal/pdn"
+)
+
+// Builder assembles an unambiguous cache key: every field is written as
+// <len>:<bytes>, so no combination of field values can collide with a
+// different combination (unlike delimiter-joined %v formatting, where one
+// field's text can absorb the delimiter).
+type Builder struct {
+	sb strings.Builder
+}
+
+// Str appends a length-prefixed string field.
+func (k *Builder) Str(s string) {
+	k.sb.WriteString(strconv.Itoa(len(s)))
+	k.sb.WriteByte(':')
+	k.sb.WriteString(s)
+}
+
+// Int appends an integer field.
+func (k *Builder) Int(v int) { k.Str(strconv.Itoa(v)) }
+
+// Bool appends a boolean field.
+func (k *Builder) Bool(v bool) { k.Str(strconv.FormatBool(v)) }
+
+// Float appends the exact value (shortest round-trip form), so specs that
+// differ only past some decimal place never share a key.
+func (k *Builder) Float(v float64) { k.Str(strconv.FormatFloat(v, 'g', -1, 64)) }
+
+// Usage appends a string-keyed float map in sorted key order.
+func (k *Builder) Usage(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	k.Int(len(keys))
+	for _, key := range keys {
+		k.Str(key)
+		k.Float(m[key])
+	}
+}
+
+// String returns the assembled key.
+func (k *Builder) String() string { return k.sb.String() }
+
+// Spec fingerprints every spec field the R-Mesh build and power models
+// read, canonically: distinct designs cannot collide, identical designs
+// always hit the cache. withLogic records whether the logic die is
+// analyzed loaded, which changes results without changing the spec.
+func Spec(s *pdn.Spec, withLogic bool) string {
+	var k Builder
+	k.Str(s.Name)
+	k.Int(s.NumDRAM)
+	k.Usage(s.Usage)
+	k.Usage(s.LogicUsage)
+	k.Int(s.TSVCount)
+	k.Str(s.TSVStyle.String())
+	k.Str(s.Bonding.String())
+	k.Str(s.RDL.String())
+	k.Bool(s.WireBond)
+	k.Bool(s.DedicatedTSV)
+	k.Bool(s.AlignTSV)
+	k.Int(s.WiresPerDie)
+	k.Float(s.EffMeshPitch())
+	k.Bool(s.OnLogic)
+	k.Bool(withLogic)
+	failed := make([]int, 0, len(s.FailedTSVs))
+	for f := range s.FailedTSVs {
+		failed = append(failed, f)
+	}
+	sort.Ints(failed)
+	k.Int(len(failed))
+	for _, f := range failed {
+		k.Int(f)
+	}
+	return k.String()
+}

@@ -1,0 +1,44 @@
+package speckey
+
+import (
+	"testing"
+
+	"pdn3d/internal/bench3d"
+)
+
+// Length-prefixed framing must keep adjacent fields from absorbing each
+// other: "ab"+"c" and "a"+"bc" differ even though their concatenation is
+// identical.
+func TestBuilderFraming(t *testing.T) {
+	var a, b Builder
+	a.Str("ab")
+	a.Str("c")
+	b.Str("a")
+	b.Str("bc")
+	if a.String() == b.String() {
+		t.Fatalf("framing collision: %q", a.String())
+	}
+}
+
+func TestUsageOrderIndependent(t *testing.T) {
+	var a, b Builder
+	a.Usage(map[string]float64{"M2": 0.1, "M3": 0.2})
+	b.Usage(map[string]float64{"M3": 0.2, "M2": 0.1})
+	if a.String() != b.String() {
+		t.Fatalf("usage key depends on insertion order: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestSpecStableAndLogicSensitive(t *testing.T) {
+	bench, err := bench3d.StackedDDR3Off()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bench.Spec
+	if Spec(s, false) != Spec(s.Clone(), false) {
+		t.Error("identical specs produced different keys")
+	}
+	if Spec(s, false) == Spec(s, true) {
+		t.Error("withLogic not reflected in the key")
+	}
+}

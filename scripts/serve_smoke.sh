@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Boots pdnserve on a local port, drives one request through every
+# endpoint (analyze, batch, lut, healthz, metrics), and fails on any
+# non-2xx response or a batch item error. Finishes with a SIGTERM to
+# check the graceful drain path exits cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/pdnserve"
+go build -o "$BIN" ./cmd/pdnserve
+
+ADDR="127.0.0.1:18080"
+# Coarse mesh pitch keeps smoke solves fast; determinism is unaffected.
+"$BIN" -addr "$ADDR" -pitch 0.5 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+up=0
+for _ in $(seq 1 100); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+if [ "$up" != 1 ]; then
+  echo "pdnserve did not come up on $ADDR" >&2
+  exit 1
+fi
+
+check() {
+  # check <name> <path> [json-body]; curl -f fails the script on non-2xx.
+  local name="$1" path="$2" data="${3:-}" out
+  if [ -n "$data" ]; then
+    out=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$data" "http://$ADDR$path")
+  else
+    out=$(curl -sf "http://$ADDR$path")
+  fi
+  echo "ok: $name -> $(echo "$out" | head -c 120)"
+  LAST="$out"
+}
+
+check healthz /healthz
+check analyze /v1/analyze '{"bench":"ddr3-off","state":"0-0-0-2","io":1.0}'
+echo "$LAST" | grep -q '"max_ir_mv"' || { echo "analyze response missing max_ir_mv" >&2; exit 1; }
+
+check batch /v1/batch '{"queries":[{"bench":"ddr3-off","state":"0-0-0-2","io":1.0},{"bench":"ddr3-off","state":"1-0-1-2","io":0.5}]}'
+echo "$LAST" | grep -q '"failed":0' || { echo "batch reported item failures: $LAST" >&2; exit 1; }
+
+check lut /v1/lut '{"bench":"ddr3-off","max_per_die":1,"io_levels":[1.0],"probe":{"state":"0-0-0-1","io":1.0}}'
+echo "$LAST" | grep -q '"probe_max_ir_mv"' || { echo "lut response missing probe result" >&2; exit 1; }
+
+check metrics /metrics
+echo "$LAST" | grep -q 'serve.cache' || { echo "metrics missing serve counters" >&2; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID"
+trap - EXIT
+echo "serve smoke passed"
