@@ -1,8 +1,14 @@
 // Command pdnserve serves the IR-drop analysis stack over HTTP/JSON:
 // POST /v1/analyze (one query), POST /v1/batch (fan-out), POST /v1/lut
-// (look-up-table build/probe), GET /healthz, GET /metrics. See
-// internal/serve for the request schema and the caching, admission, and
-// determinism contracts.
+// (look-up-table build/probe), GET /healthz, GET /metrics, GET
+// /debug/requests (recent and slowest request traces). See
+// internal/serve for the request schema and the caching, admission,
+// tracing, and determinism contracts.
+//
+// All process output is structured log events on stderr — one line per
+// event, logfmt by default or JSON lines with -log-format=json — and
+// every served request emits a "request" event carrying its trace ID,
+// status, and phase timings.
 //
 // On SIGINT/SIGTERM the server stops admitting (new requests get 503),
 // drains in-flight work up to -drain-timeout, then shuts the listener
@@ -13,7 +19,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -21,14 +26,12 @@ import (
 	"syscall"
 	"time"
 
+	"pdn3d/internal/obs"
 	"pdn3d/internal/serve"
 	"pdn3d/internal/solve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pdnserve: ")
-
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	workers := flag.Int("workers", 0, "solver/batch worker pool size (<= 0: GOMAXPROCS)")
 	solver := flag.String("solver", "", fmt.Sprintf("solve method (%s; empty: %s)",
@@ -39,19 +42,35 @@ func main() {
 	cacheSize := flag.Int("cache", 1024, "analyze result cache entries")
 	maxBatch := flag.Int("max-batch", 256, "max queries per /v1/batch request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+	logFormat := flag.String("log-format", obs.LogText, "log output format: text or json")
+	traceBuf := flag.Int("trace-buf", 0, "request traces retained for /debug/requests, per recent/slowest buffer (<= 0: default)")
+	noTrace := flag.Bool("no-trace", false, "disable request tracing (X-Trace-Id is still issued; /debug/requests stays empty)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdnserve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(fields ...obs.Field) {
+		logger.Event("fatal", fields...)
+		os.Exit(1)
+	}
 	if *pitch < 0 {
-		log.Fatalf("-pitch %g must be >= 0", *pitch)
+		fatal(obs.F("error", fmt.Sprintf("-pitch %g must be >= 0", *pitch)))
 	}
 
 	s := serve.New(serve.Config{
-		Workers:     *workers,
-		Solver:      *solver,
-		MeshPitch:   *pitch,
-		MaxInFlight: *maxInflight,
-		QueueWait:   *queueWait,
-		CacheSize:   *cacheSize,
-		MaxBatch:    *maxBatch,
+		Workers:        *workers,
+		Solver:         *solver,
+		MeshPitch:      *pitch,
+		MaxInFlight:    *maxInflight,
+		QueueWait:      *queueWait,
+		CacheSize:      *cacheSize,
+		MaxBatch:       *maxBatch,
+		TraceBufSize:   *traceBuf,
+		DisableTracing: *noTrace,
+		Log:            logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 5 * time.Second}
 
@@ -61,22 +80,25 @@ func main() {
 	errc := make(chan error, 1)
 	//pdnlint:ignore rawgo the listener is process-lifetime background I/O like the obs debug server; internal/par pools are for bounded analysis work
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Event("start",
+		obs.F("addr", *addr),
+		obs.F("log_format", *logFormat),
+		obs.F("tracing", !*noTrace))
 
 	select {
 	case err := <-errc:
-		log.Fatalf("%v", err)
+		fatal(obs.F("error", err.Error()))
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received, draining (timeout %s)", *drainTimeout)
+	logger.Event("draining", obs.F("timeout", drainTimeout.String()))
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
-		log.Printf("%v", err)
+		logger.Event("drain_error", obs.F("error", err.Error()))
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Event("shutdown_error", obs.F("error", err.Error()))
 	}
-	log.Printf("drained, exiting")
+	logger.Event("drained")
 }

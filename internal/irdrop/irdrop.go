@@ -130,13 +130,16 @@ func (a *Analyzer) Solves() int { return int(a.solves.Load()) }
 // iteration, so an abandoned request stops at the next iteration boundary.
 // The serving layer uses this — it brings its own bounded LRU and
 // singleflight, and per-request cancellation must not poison a shared
-// memo entry that other callers would then retry. A completed solve
-// returns values identical to Analyze's.
+// memo entry that other callers would then retry. When ctx carries a
+// request-trace span (obs.WithSpan), the analysis records "stamp" and
+// "solve" child spans under it, the latter annotated with the solver's
+// iteration count; with no span in ctx tracing is a no-op. A completed
+// solve returns values identical to Analyze's.
 func (a *Analyzer) AnalyzeCtx(ctx context.Context, state memstate.State, io float64) (*Result, error) {
 	opts := a.Opts
 	opts.Cancel = ctx.Err
 	a.solves.Add(1)
-	return a.analyzeOpts(state, io, opts)
+	return a.analyzeOpts(ctx, state, io, opts)
 }
 
 // AnalyzeCounts is Analyze for a bare per-die count vector using the
@@ -182,15 +185,17 @@ func (a *Analyzer) LoadedRHS(state memstate.State, io float64) ([]float64, error
 }
 
 func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
-	return a.analyzeOpts(state, io, a.Opts)
+	return a.analyzeOpts(context.Background(), state, io, a.Opts)
 }
 
-func (a *Analyzer) analyzeOpts(state memstate.State, io float64, opts solve.Options) (*Result, error) {
+func (a *Analyzer) analyzeOpts(ctx context.Context, state memstate.State, io float64, opts solve.Options) (*Result, error) {
 	defer a.obs.Timer("irdrop.analyze_time").Start()()
 	spec := a.Spec()
 	if state.NumDies() > spec.NumDRAM {
 		return nil, fmt.Errorf("irdrop: state has %d dies, design has %d", state.NumDies(), spec.NumDRAM)
 	}
+	parent := obs.SpanFrom(ctx)
+	stamp := parent.Child("stamp")
 	m := a.Model
 	rhs := m.BaseRHS()
 	res := &Result{State: state, IO: io, PerDie: make([]float64, spec.NumDRAM)}
@@ -221,7 +226,11 @@ func (a *Analyzer) analyzeOpts(state memstate.State, io float64, opts solve.Opti
 			return nil, err
 		}
 	}
+	stamp.End()
+	solveSpan := parent.Child("solve")
+	opts.Span = solveSpan
 	v, stats, err := m.Solve(rhs, opts)
+	solveSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("irdrop: %s state %s: %w", spec.Name, state, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for ServeDebug
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -82,7 +83,11 @@ func (r *Registry) Snapshot() Snapshot {
 			for i := range m.buckets {
 				hs.Buckets[i] = m.Bucket(i)
 			}
-			s.Histograms[name] = hs
+			key := name
+			if m.info {
+				key = name + " (info)"
+			}
+			s.Histograms[key] = hs
 		case *Timer:
 			s.Timers[name] = TimerSnapshot{
 				Count:   m.Count(),
@@ -152,6 +157,9 @@ func (s Snapshot) Deterministic() Snapshot {
 		out.Gauges[name] = v
 	}
 	for name, h := range s.Histograms {
+		if strings.HasSuffix(name, " (info)") {
+			continue
+		}
 		h.Sum = 0
 		out.Histograms[name] = h
 	}
@@ -206,6 +214,10 @@ func (r *Registry) Summary() string {
 			}
 			fmt.Fprintf(&sb, "  %-40s %g%s\n", name, m.Value(), kind)
 		case *Histogram:
+			kind := ""
+			if m.info {
+				kind = " (info)"
+			}
 			fmt.Fprintf(&sb, "  %-40s n=%d mean=%.3g [", name, m.Count(), histMean(m))
 			for i := range m.buckets {
 				if i > 0 {
@@ -213,12 +225,83 @@ func (r *Registry) Summary() string {
 				}
 				fmt.Fprintf(&sb, "%d", m.Bucket(i))
 			}
-			fmt.Fprintf(&sb, "] bounds=%v\n", m.bounds)
+			fmt.Fprintf(&sb, "] bounds=%v%s\n", m.bounds, kind)
 		case *Timer:
 			fmt.Fprintf(&sb, "  %-40s n=%d total=%s\n", name, m.Count(), m.Total().Round(100*time.Microsecond))
 		}
 	}
 	return sb.String()
+}
+
+// PromText renders every metric in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms with cumulative le-labeled buckets plus _sum/_count, and
+// timers as quantile-less summaries in seconds. Metric names are the
+// registry names with every character outside [a-zA-Z0-9_:] replaced by
+// '_'. Spans are not exported — scrape /debug/requests for traces.
+// Safe on nil (returns an empty exposition).
+func (r *Registry) PromText() []byte {
+	var sb strings.Builder
+	if r == nil {
+		return []byte{}
+	}
+	metrics, names := r.metricsByName()
+	for _, name := range names {
+		pn := promName(name)
+		switch m := metrics[name].(type) {
+		case *Counter:
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(m.Value()))
+		case *Histogram:
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", pn)
+			var cum int64
+			for i, b := range m.bounds {
+				cum += m.Bucket(i)
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, m.Count())
+			fmt.Fprintf(&sb, "%s_sum %s\n", pn, promFloat(m.sum()))
+			fmt.Fprintf(&sb, "%s_count %d\n", pn, m.Count())
+		case *Timer:
+			fmt.Fprintf(&sb, "# TYPE %s_seconds summary\n", pn)
+			fmt.Fprintf(&sb, "%s_seconds_sum %s\n", pn, promFloat(m.Total().Seconds()))
+			fmt.Fprintf(&sb, "%s_seconds_count %d\n", pn, m.Count())
+		}
+	}
+	return []byte(sb.String())
+}
+
+// promName maps a registry metric name onto the Prometheus name
+// alphabet.
+func promName(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float sample value (shortest round-trip form).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func histMean(h *Histogram) float64 {

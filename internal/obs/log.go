@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log formats accepted by NewLogger. JSON emits one object per line
+// ("JSON lines"); text emits logfmt-style key=value pairs. Both carry
+// the same fields in the same order, so the two spellings of one event
+// are mechanically convertible.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// Field is one key/value pair on a structured log record. Values are
+// rendered with encoding/json in JSON mode and fmt in text mode, so
+// strings, numbers, and bools all round-trip.
+type Field struct {
+	Key   string
+	Value interface{}
+}
+
+// F builds a Field.
+func F(key string, value interface{}) Field { return Field{Key: key, Value: value} }
+
+// Logger writes structured event records — one line per event — in
+// either JSON or text format. It is the single log stream for a serving
+// process: operational events (start, drain, shutdown) and per-request
+// access records share it, so one pipeline ingests both. Safe for
+// concurrent use; a nil *Logger discards everything.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+}
+
+// NewLogger builds a logger writing to w in the given format (LogJSON
+// or LogText; "" selects text).
+func NewLogger(w io.Writer, format string) (*Logger, error) {
+	switch format {
+	case LogJSON:
+		return &Logger{w: w, json: true}, nil
+	case LogText, "":
+		return &Logger{w: w}, nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %q or %q)", format, LogText, LogJSON)
+	}
+}
+
+// Event writes one record: a wall-clock timestamp, the event name, and
+// the fields in the given order. No-op on nil.
+func (l *Logger) Event(event string, fields ...Field) {
+	if l == nil {
+		return
+	}
+	ts := now().UTC().Format(time.RFC3339Nano)
+	var sb strings.Builder
+	if l.json {
+		sb.WriteString(`{"ts":`)
+		writeJSONValue(&sb, ts)
+		sb.WriteString(`,"event":`)
+		writeJSONValue(&sb, event)
+		for _, f := range fields {
+			sb.WriteByte(',')
+			writeJSONValue(&sb, f.Key)
+			sb.WriteByte(':')
+			writeJSONValue(&sb, f.Value)
+		}
+		sb.WriteString("}\n")
+	} else {
+		sb.WriteString("ts=")
+		sb.WriteString(ts)
+		sb.WriteString(" event=")
+		sb.WriteString(textValue(event))
+		for _, f := range fields {
+			sb.WriteByte(' ')
+			sb.WriteString(f.Key)
+			sb.WriteByte('=')
+			sb.WriteString(textValue(f.Value))
+		}
+		sb.WriteByte('\n')
+	}
+	l.mu.Lock()
+	io.WriteString(l.w, sb.String())
+	l.mu.Unlock()
+}
+
+// writeJSONValue marshals v; a value that cannot marshal (should not
+// happen with the scalar fields loggers carry) degrades to its fmt
+// spelling rather than dropping the record.
+func writeJSONValue(sb *strings.Builder, v interface{}) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	sb.Write(b)
+}
+
+// textValue renders v for the text format, quoting anything with
+// spaces, quotes, or '=' so records stay splittable on spaces.
+func textValue(v interface{}) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \"=\t\n") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

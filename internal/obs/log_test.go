@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestLoggerJSONLines(t *testing.T) {
+	var sb strings.Builder
+	l, err := NewLogger(&sb, LogJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Event("request",
+		F("trace_id", "deadbeef"),
+		F("status", 200),
+		F("dur_ms", 1.5),
+		F("converged", true),
+		F("note", `quote " and \ slash`))
+	line := sb.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("event is not exactly one line: %q", line)
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not valid JSON: %v\n%s", err, line)
+	}
+	if rec["event"] != "request" || rec["trace_id"] != "deadbeef" {
+		t.Fatalf("record = %v", rec)
+	}
+	if rec["status"] != float64(200) || rec["dur_ms"] != 1.5 || rec["converged"] != true {
+		t.Fatalf("typed fields mangled: %v", rec)
+	}
+	if rec["note"] != `quote " and \ slash` {
+		t.Fatalf("string escaping broken: %q", rec["note"])
+	}
+	if _, ok := rec["ts"]; !ok {
+		t.Fatalf("record missing ts: %v", rec)
+	}
+	// Field order is part of the schema: ts, event, then caller order.
+	if !regexp.MustCompile(`^\{"ts":"[^"]+","event":"request","trace_id":`).MatchString(line) {
+		t.Fatalf("field order not preserved: %s", line)
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var sb strings.Builder
+	l, err := NewLogger(&sb, LogText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Event("start", F("addr", "127.0.0.1:8080"), F("msg", "has spaces"), F("n", 3))
+	line := strings.TrimSuffix(sb.String(), "\n")
+	if !strings.HasPrefix(line, "ts=") {
+		t.Fatalf("text line does not lead with ts=: %q", line)
+	}
+	for _, want := range []string{" event=start", " addr=127.0.0.1:8080", ` msg="has spaces"`, " n=3"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("text line missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestLoggerRejectsUnknownFormatAndNilIsSafe(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "yaml"); err == nil {
+		t.Fatalf("NewLogger accepted unknown format")
+	}
+	if l, err := NewLogger(&strings.Builder{}, ""); err != nil || l == nil {
+		t.Fatalf("empty format should select text: %v", err)
+	}
+	var nl *Logger
+	nl.Event("ignored", F("k", "v")) // must not panic
+}
+
+// promLine matches one valid line of the Prometheus text exposition
+// format v0.0.4: a comment, a sample (optionally labeled), or blank.
+var promLine = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+|[+-]?Inf|[[:space:]]*)$`)
+
+func TestPromTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.analyze.requests").Add(7)
+	r.Gauge("irdrop.max_ir_v").Set(0.042)
+	r.Histogram("solve.iters", []float64{10, 100}).Observe(5)
+	r.Histogram("solve.iters", nil).Observe(50)
+	r.Timer("solve.time").Start()()
+	text := string(r.PromText())
+
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `le="+Inf"`) {
+			continue // +Inf label is legal but not matched by the simple sample regex
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q in:\n%s", line, text)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE serve_analyze_requests counter",
+		"serve_analyze_requests 7",
+		"# TYPE irdrop_max_ir_v gauge",
+		"irdrop_max_ir_v 0.042",
+		"# TYPE solve_iters histogram",
+		`solve_iters_bucket{le="10"} 1`,
+		`solve_iters_bucket{le="100"} 2`,
+		`solve_iters_bucket{le="+Inf"} 2`,
+		"solve_iters_sum 55",
+		"solve_iters_count 2",
+		"# TYPE solve_time_seconds summary",
+		"solve_time_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if nilText := (*Registry)(nil).PromText(); len(nilText) != 0 {
+		t.Fatalf("nil registry PromText = %q, want empty", nilText)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.analyze.latency_ms": "serve_analyze_latency_ms",
+		"3d.stack":                 "_3d_stack",
+		"a:b-c d":                  "a:b_c_d",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -32,20 +32,75 @@ func now() time.Time {
 	return time.Now()
 }
 
+// DefaultSpanCap bounds a registry's retained spans: once full, the
+// oldest span is overwritten and the "obs.spans_dropped" counter
+// increments, so a long-running process (pdnserve) holds a fixed amount
+// of span data no matter how long it serves.
+const DefaultSpanCap = 4096
+
 // Registry is a named-metric registry plus a span trace for one run.
 // All methods are safe for concurrent use; the nil registry is a valid
-// disabled registry.
+// disabled registry. Span storage is a bounded ring (DefaultSpanCap,
+// tunable with SetSpanCap); drops are counted in "obs.spans_dropped".
 type Registry struct {
-	mu      sync.Mutex
-	metrics map[string]interface{}
-	spans   []spanRecord
-	start   time.Time
+	mu       sync.Mutex
+	metrics  map[string]interface{}
+	spans    []spanRecord // ring once len == spanCap; spanNext is the oldest
+	spanCap  int
+	spanNext int
+	start    time.Time
+
+	// dropped counts spans overwritten by the ring; kept as a direct
+	// field because the recording path already holds mu and must not
+	// re-enter the metric lookup.
+	dropped *Counter
 }
 
 // NewRegistry returns an empty registry; its creation time anchors the
 // relative span timestamps.
 func NewRegistry() *Registry {
-	return &Registry{metrics: map[string]interface{}{}, start: now()}
+	r := &Registry{metrics: map[string]interface{}{}, spanCap: DefaultSpanCap, start: now()}
+	r.dropped = r.Counter("obs.spans_dropped")
+	return r
+}
+
+// SetSpanCap bounds the span ring at n (minimum 1). Shrinking below the
+// current count drops the oldest spans, counting them as dropped. Safe
+// on nil.
+func (r *Registry) SetSpanCap(n int) {
+	if r == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	if len(r.spans) > n {
+		// Linearize the ring oldest-first, then keep the newest n.
+		lin := make([]spanRecord, 0, len(r.spans))
+		for i := 0; i < len(r.spans); i++ {
+			lin = append(lin, r.spans[(r.spanNext+i)%len(r.spans)])
+		}
+		drop := len(lin) - n
+		r.spans = append([]spanRecord(nil), lin[drop:]...)
+		r.dropped.Add(int64(drop))
+	}
+	r.spanCap = n
+	r.spanNext = 0
+	r.mu.Unlock()
+}
+
+// addSpan records one completed span into the bounded ring.
+func (r *Registry) addSpan(rec spanRecord) {
+	r.mu.Lock()
+	if len(r.spans) < r.spanCap {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.spans[r.spanNext] = rec
+		r.spanNext = (r.spanNext + 1) % r.spanCap
+		r.dropped.Add(1)
+	}
+	r.mu.Unlock()
 }
 
 // get returns the metric registered under name, creating it with mk on
@@ -106,10 +161,22 @@ func (r *Registry) gauge(name string, info bool) *Gauge {
 // is implicit). Bounds are fixed at creation, which is what keeps bucket
 // tallies deterministic. Returns nil on a nil registry.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.histogram(name, bounds, false)
+}
+
+// InfoHistogram is Histogram for observations that legitimately depend
+// on run conditions — request latencies, queue waits — whose bucket
+// tallies therefore cannot join the deterministic snapshot. Returns nil
+// on a nil registry.
+func (r *Registry) InfoHistogram(name string, bounds []float64) *Histogram {
+	return r.histogram(name, bounds, true)
+}
+
+func (r *Registry) histogram(name string, bounds []float64, info bool) *Histogram {
 	if r == nil {
 		return nil
 	}
-	m := r.get(name, func() interface{} { return newHistogram(bounds) })
+	m := r.get(name, func() interface{} { return newHistogram(bounds, info) })
 	h, ok := m.(*Histogram)
 	if !ok {
 		panic("obs: metric " + name + " already registered with a different kind")
@@ -199,6 +266,22 @@ func (g *Gauge) SetMax(v float64) {
 	}
 }
 
+// Add shifts the gauge by delta (negative to decrease) — the in-flight
+// counter pattern. Order-dependent only in transient values; use on
+// info gauges. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -217,12 +300,13 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	info    bool
 }
 
-func newHistogram(bounds []float64) *Histogram {
+func newHistogram(bounds []float64, info bool) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1), info: info}
 }
 
 // Observe records one value. No-op on nil.

@@ -36,14 +36,12 @@ func (r *Registry) Span(name string, attrs ...Attr) func() {
 	start := now()
 	return func() {
 		end := now()
-		r.mu.Lock()
-		r.spans = append(r.spans, spanRecord{
+		r.addSpan(spanRecord{
 			name:  name,
 			attrs: attrs,
 			start: start.Sub(r.start),
 			dur:   end.Sub(start),
 		})
-		r.mu.Unlock()
 	}
 }
 

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,21 @@ func SweepWith(workers, n int, m *obs.SweepMetrics, fn func(i int) error) error 
 	worker() // the caller participates, bounding the pool at `workers`
 	wg.Wait()
 	return firstBy
+}
+
+// SweepCtx is SweepWith for context-aware tasks under a request trace:
+// each task runs with a child span of ctx's active span (named name,
+// annotated with its item index) installed in its context, so fan-out
+// work nests under the request that spawned it. With no active span in
+// ctx the per-task spans are nil and the sweep behaves exactly like
+// SweepWith — tracing is pay-as-you-go.
+func SweepCtx(ctx context.Context, workers, n int, m *obs.SweepMetrics, name string, fn func(ctx context.Context, i int) error) error {
+	parent := obs.SpanFrom(ctx)
+	return SweepWith(workers, n, m, func(i int) error {
+		sp := parent.Child(name, obs.A("item", i))
+		defer sp.End()
+		return fn(obs.WithSpan(ctx, sp), i)
+	})
 }
 
 // Blocks partitions [0, n) into fixed-size blocks and runs fn(b, lo, hi)

@@ -1,0 +1,107 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"pdn3d/internal/obs"
+)
+
+func TestSweepCtxRecordsItemSpans(t *testing.T) {
+	tr := obs.NewTrace("")
+	root := tr.Span("request")
+	ctx := obs.WithSpan(context.Background(), root)
+	var mu sync.Mutex
+	got := map[int]bool{}
+	err := SweepCtx(ctx, 4, 6, nil, "item", func(ctx context.Context, i int) error {
+		sp := obs.SpanFrom(ctx)
+		if sp == nil {
+			t.Errorf("task %d saw no span in its context", i)
+			return nil
+		}
+		// Children opened inside the task nest under its item span.
+		c := sp.Child("inner")
+		c.End()
+		mu.Lock()
+		got[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if len(got) != 6 {
+		t.Fatalf("ran %d tasks, want 6", len(got))
+	}
+
+	snap := tr.Snapshot()
+	rootID := 0
+	var items []string
+	inner := 0
+	byID := map[int]obs.TraceSpanSnapshot{}
+	for _, sp := range snap.Spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range snap.Spans {
+		switch sp.Name {
+		case "request":
+			rootID = sp.ID
+		case "item":
+			items = append(items, sp.Attrs["item"])
+		case "inner":
+			if byID[sp.Parent].Name != "item" {
+				t.Fatalf("inner span parent is %q, want item", byID[sp.Parent].Name)
+			}
+			inner++
+		}
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "item" && sp.Parent != rootID {
+			t.Fatalf("item span parent = %d, want request span %d", sp.Parent, rootID)
+		}
+	}
+	sort.Strings(items)
+	want := []string{"0", "1", "2", "3", "4", "5"}
+	for i := range want {
+		if i >= len(items) || items[i] != want[i] {
+			t.Fatalf("item attrs = %v, want %v", items, want)
+		}
+	}
+	if inner != 6 {
+		t.Fatalf("recorded %d inner spans, want 6", inner)
+	}
+}
+
+func TestSweepCtxWithoutSpanIsPlainSweep(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	err := SweepCtx(context.Background(), 2, 5, nil, "item", func(ctx context.Context, i int) error {
+		if obs.SpanFrom(ctx) != nil {
+			t.Errorf("untraced sweep leaked a span into task %d", i)
+		}
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestSweepCtxPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := SweepCtx(context.Background(), 2, 5, nil, "item", func(ctx context.Context, i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -73,6 +73,19 @@ type Config struct {
 	DesignCacheSize int
 	// MaxBatch caps queries per /v1/batch request; <= 0 selects 256.
 	MaxBatch int
+	// TraceBufSize bounds each /debug/requests retention class (the N
+	// most recent and N slowest request traces); <= 0 selects
+	// obs.DefaultTraceBufferCap.
+	TraceBufSize int
+	// DisableTracing turns off request-scoped trace recording: responses
+	// still carry X-Trace-Id and latency telemetry still flows, but no
+	// phase spans are recorded, nothing reaches /debug/requests, and the
+	// solver layers see nil spans (their no-op path).
+	DisableTracing bool
+
+	// Log receives one structured access record per request; nil
+	// disables access logging.
+	Log *obs.Logger
 
 	// Reg receives serving metrics; nil allocates a private registry (the
 	// /metrics endpoint works either way).
@@ -105,6 +118,12 @@ type Server struct {
 	admitted               *obs.Counter
 	rejectedBusy           *obs.Counter
 	rejectedDraining       *obs.Counter
+
+	// Request-scoped observability: per-endpoint telemetry, the bounded
+	// trace retention behind /debug/requests, and the access log.
+	ep     map[string]*epMetrics
+	traces *obs.TraceBuffer
+	log    *obs.Logger
 }
 
 // New builds a Server from cfg, filling defaults.
@@ -144,11 +163,20 @@ func New(cfg Config) *Server {
 	s.rejectedBusy = s.reg.Counter("serve.admission.rejected_busy")
 	s.rejectedDraining = s.reg.Counter("serve.admission.rejected_draining")
 
+	s.traces = obs.NewTraceBuffer(cfg.TraceBufSize)
+	s.log = cfg.Log
+	s.ep = map[string]*epMetrics{
+		"analyze": newEPMetrics(s.reg, "analyze"),
+		"batch":   newEPMetrics(s.reg, "batch"),
+		"lut":     newEPMetrics(s.reg, "lut"),
+	}
+
 	s.mux.HandleFunc("/v1/analyze", s.throttled("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("/v1/batch", s.throttled("batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/lut", s.throttled("lut", s.handleLUT))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	return s
 }
 
@@ -205,25 +233,87 @@ func (s *Server) acquire(ctx context.Context) (func(), int) {
 	}
 }
 
-// throttled wraps a POST handler with method check, request counting, and
-// admission control. A whole batch holds one slot: MaxInFlight bounds
-// admitted HTTP requests, Workers bounds solver parallelism within them.
+// throttled wraps a POST handler with method check, admission control,
+// and request-scoped observability. A whole batch holds one slot:
+// MaxInFlight bounds admitted HTTP requests, Workers bounds solver
+// parallelism within them. Every request gets a Trace whose ID is
+// echoed in X-Trace-Id (a valid inbound header is honored for
+// correlation); the queue-wait is its first span, recorded separately
+// from handler time so saturation diagnosis can tell slow solves from
+// too many clients. On completion the endpoint telemetry, the trace
+// buffer, and the access log each receive their record.
 func (s *Server) throttled(name string, h http.HandlerFunc) http.HandlerFunc {
-	ctr := s.reg.Counter("serve." + name + ".requests")
+	ep := s.ep[name]
 	return func(w http.ResponseWriter, req *http.Request) {
-		ctr.Add(1)
-		if req.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires POST", req.URL.Path))
-			return
+		ep.requests.Add(1)
+		tr := obs.NewTrace(requestTraceID(req))
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Trace-Id", tr.ID())
+		root := tr.Span("request", obs.A("endpoint", req.URL.Path))
+		ep.inflight.Add(1)
+		var queueWait time.Duration
+		func() {
+			if req.Method != http.MethodPost {
+				writeErr(sw, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires POST", req.URL.Path))
+				return
+			}
+			qs := root.Child("queue")
+			release, status := s.acquire(req.Context())
+			qs.End()
+			queueWait = qs.Dur()
+			if status != 0 {
+				if status == http.StatusTooManyRequests {
+					ep.rejectedBusy.Add(1)
+				}
+				writeErr(sw, status, errors.New("serve: over capacity"))
+				return
+			}
+			defer release()
+			ctx := req.Context()
+			if !s.cfg.DisableTracing {
+				ctx = obs.WithSpan(obs.WithTrace(ctx, tr), root)
+			}
+			h(sw, req.WithContext(ctx))
+		}()
+		ep.inflight.Add(-1)
+		root.End()
+		tr.Finish()
+		snap := tr.Snapshot()
+		ep.observe(sw.status, queueWait, tr.Dur())
+		if !s.cfg.DisableTracing {
+			s.traces.Add(snap)
 		}
-		release, status := s.acquire(req.Context())
-		if status != 0 {
-			writeErr(w, status, errors.New("serve: over capacity"))
-			return
-		}
-		defer release()
-		h(w, req)
+		s.logRequest(name, req, sw, snap, queueWait)
 	}
+}
+
+// logRequest emits the per-request access record. The leading fields —
+// trace_id, endpoint, path, method, status, bytes, dur_ms, queue_ms,
+// handler_ms — appear on every record in this order; phase and cache
+// fields follow when the trace recorded them. Field names are part of
+// the log schema (DESIGN.md §5e).
+func (s *Server) logRequest(name string, req *http.Request, sw *statusWriter, ts obs.TraceSnapshot, queueWait time.Duration) {
+	if s.log == nil {
+		return
+	}
+	queueMS := float64(queueWait) / 1e6
+	handlerMS := ts.DurMS - queueMS
+	if handlerMS < 0 {
+		handlerMS = 0
+	}
+	fields := []obs.Field{
+		obs.F("trace_id", ts.ID),
+		obs.F("endpoint", name),
+		obs.F("path", req.URL.Path),
+		obs.F("method", req.Method),
+		obs.F("status", sw.status),
+		obs.F("bytes", sw.bytes),
+		obs.F("dur_ms", round3(ts.DurMS)),
+		obs.F("queue_ms", round3(queueMS)),
+		obs.F("handler_ms", round3(handlerMS)),
+	}
+	fields = append(fields, traceLogFields(ts)...)
+	s.log.Event("request", fields...)
 }
 
 // AnalyzeResponse is the /v1/analyze result body. Every field is
@@ -269,9 +359,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 // analyzeOne runs one query through resolve -> LRU -> singleflight ->
 // solve and returns the marshaled response body. On error the returned
 // status is the HTTP status the error maps to.
+//
+// Trace phases: "cache" covers resolve plus the LRU lookup (outcome
+// hit|miss|invalid); on a miss, "flight" covers the singleflight call —
+// outcome "solve" when this request executed the work (with stamp,
+// solve, and serialize children recorded under it) or "shared" when it
+// waited on a concurrent caller's solve of the same key.
 func (s *Server) analyzeOne(ctx context.Context, q query.Query) ([]byte, int, error) {
+	parent := obs.SpanFrom(ctx)
+	cs := parent.Child("cache")
 	r, err := q.Resolve()
 	if err != nil {
+		cs.Annotate(obs.A("outcome", "invalid"))
+		cs.End()
 		return nil, statusFor(err), err
 	}
 	if s.cfg.MeshPitch > 0 && q.Pitch == 0 {
@@ -280,20 +380,39 @@ func (s *Server) analyzeOne(ctx context.Context, q query.Query) ([]byte, int, er
 	key := r.CacheKey()
 	if body, ok := s.results.get(key); ok {
 		s.cacheHits.Add(1)
+		cs.Annotate(obs.A("outcome", "hit"))
+		cs.End()
 		return body, http.StatusOK, nil
 	}
 	s.cacheMisses.Add(1)
+	cs.Annotate(obs.A("outcome", "miss"))
+	cs.End()
+	fs := parent.Child("flight")
+	ran := false
 	body, err := s.flights.Do(key, func() ([]byte, error) {
+		// ran is only written here and read after Do: the Group runs fn
+		// in this goroutine or not at all.
+		ran = true
+		fctx := obs.WithSpan(ctx, fs)
 		a, err := s.analyzerFor(r)
 		if err != nil {
 			return nil, err
 		}
-		res, err := a.AnalyzeCtx(ctx, r.State, r.Query.IO)
+		res, err := a.AnalyzeCtx(fctx, r.State, r.Query.IO)
 		if err != nil {
 			return nil, err
 		}
-		return marshalAnalyze(r, res)
+		ss := fs.Child("serialize")
+		b, err := marshalAnalyze(r, res)
+		ss.End()
+		return b, err
 	})
+	if ran {
+		fs.Annotate(obs.A("outcome", "solve"))
+	} else {
+		fs.Annotate(obs.A("outcome", "shared"))
+	}
+	fs.End()
 	if err != nil {
 		// Not cached (Group drops failed calls), so a retry after a
 		// transient failure — e.g. a canceled first caller — re-solves.
@@ -402,8 +521,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(breq.Queries))}
 	// Never-abort fan-out: fn always returns nil so one bad query cannot
-	// cancel its siblings; each failure lands in its item's slot.
-	_ = par.SweepWith(s.cfg.Workers, len(breq.Queries), s.reg.SweepMetrics("serve.batch.sweep"), func(i int) error {
+	// cancel its siblings; each failure lands in its item's slot. Each
+	// item runs under its own "item" child span of the request trace, so
+	// a slow batch attributes its latency to the individual queries.
+	_ = par.SweepCtx(ctx, s.cfg.Workers, len(breq.Queries), s.reg.SweepMetrics("serve.batch.sweep"), "item", func(ctx context.Context, i int) error {
 		body, status, err := s.analyzeOne(ctx, breq.Queries[i])
 		if err != nil {
 			resp.Results[i] = BatchItem{Status: status, Error: err.Error()}
@@ -568,7 +689,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, &healthBody{Status: "ok"})
 }
 
+// handleMetrics serves the registry in two representations: the
+// expvar-style JSON snapshot (default, backward compatible) and the
+// Prometheus text exposition when the scraper asks for it — via an
+// Accept header naming text/plain or openmetrics, or explicitly with
+// ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if wantsProm(req) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(s.reg.PromText())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(s.reg.JSON())

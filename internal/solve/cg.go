@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"pdn3d/internal/obs"
 	"pdn3d/internal/sparse"
 )
 
@@ -32,6 +33,12 @@ type CGOptions struct {
 	// convergence. Cancellation never changes the values a completed
 	// solve returns.
 	Cancel func() error
+	// Span, when non-nil, is the request-trace span covering this solve:
+	// the CG core annotates it with the iteration count, final relative
+	// residual, and convergence outcome, so per-request traces attribute
+	// latency to solver work. The caller owns the span's End. Tracing
+	// never changes the values a solve returns.
+	Span *obs.TraceSpan
 }
 
 // CGStats reports how a solve went.
@@ -101,10 +108,25 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 		maxIter = 10 * n
 	}
 
+	stats := CGStats{}
+	if opt.Span != nil {
+		// Deferred so every exit — converged, exhausted, canceled —
+		// leaves the trace span carrying the true iteration story. The
+		// annotated fields are deterministic for any worker count
+		// (sharded kernels are bit-identical by contract).
+		defer func() {
+			opt.Span.Annotate(
+				obs.A("iterations", stats.Iterations),
+				obs.A("residual", stats.Residual),
+				obs.A("converged", stats.Converged))
+		}()
+	}
+
 	normB := k.norm2(b)
 	x := make([]float64, n)
 	if normB == 0 {
-		return x, CGStats{Converged: true}, nil
+		stats.Converged = true
+		return x, stats, nil
 	}
 
 	r := make([]float64, n)
@@ -116,7 +138,6 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 	ap := make([]float64, n)
 
 	rz := k.dot(r, z)
-	stats := CGStats{}
 	for it := 0; it < maxIter; it++ {
 		if opt.Cancel != nil {
 			if err := opt.Cancel(); err != nil {

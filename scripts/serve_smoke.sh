@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Boots pdnserve on a local port, drives one request through every
-# endpoint (analyze, batch, lut, healthz, metrics), and fails on any
-# non-2xx response or a batch item error. Finishes with a SIGTERM to
+# endpoint (analyze, batch, lut, healthz, metrics, debug/requests), and
+# fails on any non-2xx response, a batch item error, a missing
+# X-Trace-Id, an unretrievable trace, malformed Prometheus exposition,
+# or a missing structured-log start event. Finishes with a SIGTERM to
 # check the graceful drain path exits cleanly.
 set -euo pipefail
 
@@ -11,8 +13,9 @@ BIN="$(mktemp -d)/pdnserve"
 go build -o "$BIN" ./cmd/pdnserve
 
 ADDR="127.0.0.1:18080"
+LOG="$(mktemp)"
 # Coarse mesh pitch keeps smoke solves fast; determinism is unaffected.
-"$BIN" -addr "$ADDR" -pitch 0.5 &
+"$BIN" -addr "$ADDR" -pitch 0.5 -log-format=json 2>"$LOG" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -50,6 +53,40 @@ echo "$LAST" | grep -q '"probe_max_ir_mv"' || { echo "lut response missing probe
 
 check metrics /metrics
 echo "$LAST" | grep -q 'serve.cache' || { echo "metrics missing serve counters" >&2; exit 1; }
+
+# Every response carries X-Trace-Id, and /debug/requests can return the
+# trace it names while it is still retained.
+TRACE_ID=$(curl -sf -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
+  -d '{"bench":"ddr3-off","state":"0-0-0-2","io":1.0}' "http://$ADDR/v1/analyze" \
+  | tr -d '\r' | awk 'tolower($1)=="x-trace-id:"{print $2}')
+if [ -z "$TRACE_ID" ]; then
+  echo "analyze response missing X-Trace-Id header" >&2
+  exit 1
+fi
+echo "ok: trace id -> $TRACE_ID"
+
+check debug_requests "/debug/requests?id=$TRACE_ID"
+echo "$LAST" | grep -q "\"trace_id\":\"$TRACE_ID\"" || { echo "/debug/requests did not return trace $TRACE_ID: $LAST" >&2; exit 1; }
+echo "$LAST" | grep -q '"name":"request"' || { echo "trace $TRACE_ID has no request span: $LAST" >&2; exit 1; }
+
+# Content-negotiated Prometheus exposition: typed, and every line is a
+# valid v0.0.4 comment, sample, or blank.
+PROM=$(curl -sf "http://$ADDR/metrics?format=prometheus")
+echo "$PROM" | grep -q '^# TYPE serve_analyze_requests counter$' || { echo "prom exposition missing TYPE line" >&2; exit 1; }
+echo "$PROM" | grep -q '^serve_analyze_latency_ms_bucket{le="+Inf"} ' || { echo "prom exposition missing histogram buckets" >&2; exit 1; }
+BAD=$(echo "$PROM" | grep -Ev '^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [+-]?([0-9.eE+-]+|Inf)|[[:space:]]*)$' || true)
+if [ -n "$BAD" ]; then
+  echo "invalid Prometheus exposition lines:" >&2
+  echo "$BAD" >&2
+  exit 1
+fi
+echo "ok: prometheus exposition lints clean"
+
+# The structured JSON log carries the lifecycle start event and one
+# record per request.
+grep -q '"event":"start"' "$LOG" || { echo "JSON log missing start event:" >&2; cat "$LOG" >&2; exit 1; }
+grep -q "\"event\":\"request\".*\"trace_id\":\"$TRACE_ID\"" "$LOG" || { echo "JSON log missing request record for $TRACE_ID" >&2; cat "$LOG" >&2; exit 1; }
+echo "ok: structured log"
 
 kill -TERM "$PID"
 wait "$PID"
