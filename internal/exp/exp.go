@@ -18,6 +18,7 @@ import (
 	"pdn3d/internal/par"
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/powermap"
+	"pdn3d/internal/rmesh"
 	"pdn3d/internal/speckey"
 )
 
@@ -42,13 +43,17 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-// Runner executes experiments, caching analyzers and look-up tables across
-// experiments that share a design. It is safe for concurrent use: cache
-// misses on the same design are deduplicated so each analyzer and table is
-// built exactly once.
+// Runner executes experiments, caching mesh topologies, analyzers, and
+// look-up tables across experiments that share a design. It is safe for
+// concurrent use: cache misses on the same design are deduplicated so each
+// topology, analyzer, and table is built exactly once. Analyzers are built
+// over the shared topology cache, so a value-only sweep (metal-usage
+// studies, co-optimization candidates) freezes the mesh shape once and
+// restamps conductances per design point.
 type Runner struct {
 	Cfg Config
 
+	topos     par.Group[*rmesh.Topology]
 	analyzers par.Group[*irdrop.Analyzer]
 	luts      par.Group[*lut.Table]
 	sweeps    *obs.SweepMetrics
@@ -59,6 +64,8 @@ func NewRunner(cfg Config) *Runner {
 	r := &Runner{Cfg: cfg}
 	reg := cfg.Obs
 	r.sweeps = reg.SweepMetrics("exp.sweep")
+	r.topos.Hits = reg.Counter("exp.topo_cache.hits")
+	r.topos.Misses = reg.Counter("exp.topo_cache.misses")
 	r.analyzers.Hits = reg.Counter("exp.analyzer_cache.hits")
 	r.analyzers.Misses = reg.Counter("exp.analyzer_cache.misses")
 	r.luts.Hits = reg.Counter("exp.lut_cache.hits")
@@ -148,11 +155,26 @@ func specKey(s *pdn.Spec, withLogic bool) string {
 	return speckey.Spec(s, withLogic)
 }
 
+// topology returns the cached frozen mesh topology for the prepared spec,
+// building it exactly once even under concurrent misses. Specs differing
+// only in metal-usage magnitudes share one entry.
+func (r *Runner) topology(spec *pdn.Spec) (*rmesh.Topology, error) {
+	return r.topos.Do(speckey.Topology(spec), func() (*rmesh.Topology, error) {
+		return rmesh.BuildTopologyObs(spec, r.Cfg.Obs)
+	})
+}
+
 // analyzer returns a cached analyzer for the prepared spec, building it
-// exactly once even under concurrent misses.
+// exactly once even under concurrent misses. The mesh is restamped over
+// the shared topology cache — bit-identical to a full build, but value
+// sweeps over one design shape skip the geometry and symbolic work.
 func (r *Runner) analyzer(spec *pdn.Spec, dram *powermap.DRAMModel, logic *powermap.LogicModel) (*irdrop.Analyzer, error) {
 	return r.analyzers.Do(specKey(spec, logic != nil), func() (*irdrop.Analyzer, error) {
-		a, err := irdrop.NewObs(spec, dram, logic, r.Cfg.Obs)
+		t, err := r.topology(spec)
+		if err != nil {
+			return nil, err
+		}
+		a, err := irdrop.NewFromTopologyObs(t, spec, dram, logic, r.Cfg.Obs)
 		if err != nil {
 			return nil, err
 		}

@@ -38,10 +38,48 @@ type Analyzer struct {
 	// method with tolerances good for millivolt-accurate results. Set it
 	// before the first Analyze call; it must not change afterwards.
 	Opts solve.Options
+	// Warm, when non-nil, seeds every solve with the most recent solution
+	// published to the cell and publishes each completed solution back.
+	// Warm-started solves converge to the same tolerance but are NOT
+	// byte-identical to cold ones — leave Warm nil wherever bit-stable
+	// outputs are promised (golden tables, the serve determinism
+	// contract). Set it before the first Analyze call.
+	Warm *WarmStart
 
 	results par.Group[*Result]
 	solves  atomic.Int64
 	obs     *obs.Registry
+}
+
+// WarmStart is a shared warm-start cell: consecutive solves over
+// near-identical systems (a value sweep over one topology) publish their
+// solutions and seed from the latest one. The zero value is ready to use;
+// a nil *WarmStart is inert. Safe for concurrent use — readers get some
+// recent complete solution, never a torn one.
+type WarmStart struct {
+	v atomic.Pointer[[]float64]
+}
+
+// Seed returns the latest published solution if it matches dimension n,
+// nil otherwise. The returned slice must be treated as read-only.
+func (w *WarmStart) Seed(n int) []float64 {
+	if w == nil {
+		return nil
+	}
+	p := w.v.Load()
+	if p == nil || len(*p) != n {
+		return nil
+	}
+	return *p
+}
+
+// Publish stores x as the latest solution. The caller must not mutate x
+// afterwards.
+func (w *WarmStart) Publish(x []float64) {
+	if w == nil || x == nil {
+		return
+	}
+	w.v.Store(&x)
 }
 
 // Result is one IR-drop analysis outcome.
@@ -77,21 +115,53 @@ func New(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.Log
 // reports hit/miss counts under "irdrop.result_cache.*". A nil registry
 // disables instrumentation; analysis results are identical either way.
 func NewObs(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel, reg *obs.Registry) (*Analyzer, error) {
-	if err := dramPower.Validate(); err != nil {
+	if err := validatePowers(spec, dramPower, logicPower); err != nil {
 		return nil, err
-	}
-	if logicPower != nil {
-		if err := logicPower.Validate(); err != nil {
-			return nil, err
-		}
-		if !spec.OnLogic {
-			return nil, fmt.Errorf("irdrop: logic power given for an off-chip design")
-		}
 	}
 	m, err := rmesh.BuildObs(spec, reg)
 	if err != nil {
 		return nil, err
 	}
+	return newAnalyzer(m, dramPower, logicPower, reg), nil
+}
+
+// NewFromTopology builds an Analyzer by restamping spec's values over an
+// already-frozen mesh topology, skipping geometry and symbolic work. The
+// restamped matrix is bit-identical to a full build's, so analysis
+// results are too. spec must share t's topology key.
+func NewFromTopology(t *rmesh.Topology, spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel) (*Analyzer, error) {
+	return NewFromTopologyObs(t, spec, dramPower, logicPower, nil)
+}
+
+// NewFromTopologyObs is NewFromTopology with instrumentation (see NewObs);
+// the mesh reports under "rmesh.restamps" instead of "rmesh.builds".
+func NewFromTopologyObs(t *rmesh.Topology, spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel, reg *obs.Registry) (*Analyzer, error) {
+	if err := validatePowers(spec, dramPower, logicPower); err != nil {
+		return nil, err
+	}
+	m, err := t.NewModelObs(spec, reg)
+	if err != nil {
+		return nil, err
+	}
+	return newAnalyzer(m, dramPower, logicPower, reg), nil
+}
+
+func validatePowers(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel) error {
+	if err := dramPower.Validate(); err != nil {
+		return err
+	}
+	if logicPower != nil {
+		if err := logicPower.Validate(); err != nil {
+			return err
+		}
+		if !spec.OnLogic {
+			return fmt.Errorf("irdrop: logic power given for an off-chip design")
+		}
+	}
+	return nil
+}
+
+func newAnalyzer(m *rmesh.Model, dramPower *powermap.DRAMModel, logicPower *powermap.LogicModel, reg *obs.Registry) *Analyzer {
 	a := &Analyzer{
 		Model:      m,
 		DRAMPower:  dramPower,
@@ -101,7 +171,7 @@ func NewObs(spec *pdn.Spec, dramPower *powermap.DRAMModel, logicPower *powermap.
 	}
 	a.results.Hits = reg.Counter("irdrop.result_cache.hits")
 	a.results.Misses = reg.Counter("irdrop.result_cache.misses")
-	return a, nil
+	return a
 }
 
 // Spec returns the analyzed design.
@@ -229,11 +299,20 @@ func (a *Analyzer) analyzeOpts(ctx context.Context, state memstate.State, io flo
 	stamp.End()
 	solveSpan := parent.Child("solve")
 	opts.Span = solveSpan
+	if opts.X0 == nil {
+		if seed := a.Warm.Seed(m.N()); seed != nil {
+			opts.X0 = seed
+			solveSpan.Annotate(obs.A("warm", true))
+		}
+	}
 	v, stats, err := m.Solve(rhs, opts)
 	solveSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("irdrop: %s state %s: %w", spec.Name, state, err)
 	}
+	// Publish after success: v is not retained anywhere else (IR below is
+	// a fresh slice), so later seeds read an immutable solution.
+	a.Warm.Publish(v)
 	res.Stats = stats
 	res.IR = m.IRDrop(v)
 	for d := 0; d < spec.NumDRAM; d++ {

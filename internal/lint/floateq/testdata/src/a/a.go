@@ -35,3 +35,23 @@ func waived(a, b float64) bool {
 	//pdnlint:ignore floateq comparing interned table keys that are copied, never recomputed
 	return a == b
 }
+
+// zeroSkipStamp mirrors the rmesh stamp recorders: an early return on an
+// exact-zero conductance replicates sparse.Builder's skip rule and is a
+// well-defined zero-constant comparison.
+func zeroSkipStamp(g float64, sink func(float64)) {
+	if g == 0 {
+		return
+	}
+	sink(g)
+	sink(-g)
+}
+
+// residualCheck compares two computed floats and must be flagged even
+// inside a guard clause.
+func residualCheck(res, prev float64) bool {
+	if res == prev { // want `floating-point == comparison`
+		return true
+	}
+	return false
+}

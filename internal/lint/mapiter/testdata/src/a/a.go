@@ -58,3 +58,28 @@ func waived(m map[string]int) []string {
 	}
 	return keys
 }
+
+// appendFilteredThenSort mirrors the speckey.Builder.Support idiom: a
+// conditional append inside the loop is still order-sensitive, but the
+// trailing sort re-establishes determinism.
+func appendFilteredThenSort(m map[string]float64) []string {
+	var keys []string
+	for k, v := range m {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendFilteredNoSort is the same filter loop without the sort.
+func appendFilteredNoSort(m map[string]float64) []string {
+	var keys []string
+	for k, v := range m { // want `map iteration appends in randomized key order`
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}

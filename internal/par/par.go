@@ -235,6 +235,17 @@ func (g *Group[V]) Forget(key string) {
 	g.mu.Unlock()
 }
 
+// Reset drops every completed value, so each key's next Do runs fn again.
+// In-flight calls are unaffected (they complete and cache their own
+// results). Callers that invalidate the inputs a Group's values were
+// derived from — e.g. restamping the matrix a solver cache factorized —
+// use Reset to flush the stale values in one step.
+func (g *Group[V]) Reset() {
+	g.mu.Lock()
+	g.done = nil
+	g.mu.Unlock()
+}
+
 // Cached returns the completed value for key, if any.
 func (g *Group[V]) Cached(key string) (V, bool) {
 	g.mu.Lock()

@@ -199,6 +199,14 @@ func (r *Resolved) SpecKey() string {
 	return speckey.Spec(r.Spec, r.Logic != nil)
 }
 
+// TopoKey fingerprints only the resolved design's mesh shape
+// (speckey.Topology): queries that differ in metal-usage magnitudes alone
+// share it, which is what lets the serving layer reuse a frozen
+// rmesh.Topology across near-identical designs.
+func (r *Resolved) TopoKey() string {
+	return speckey.Topology(r.Spec)
+}
+
 // CacheKey canonically identifies the full analysis (design, explicit
 // state, I/O activity): the serving layer's result-cache and singleflight
 // key. Length-prefixed framing keeps the three parts from absorbing each

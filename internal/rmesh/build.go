@@ -9,6 +9,7 @@ import (
 	"pdn3d/internal/pdn"
 	"pdn3d/internal/solve"
 	"pdn3d/internal/sparse"
+	"pdn3d/internal/speckey"
 	"pdn3d/internal/tech"
 )
 
@@ -38,9 +39,17 @@ type Model struct {
 	dramLoad  []*Layer // load layer per DRAM die
 	logicLoad *Layer   // nil when off-chip
 
+	// topo is the frozen shape the model was built over; Restamp rewrites
+	// Matrix.Val through its pattern. Every model carries one.
+	topo *Topology
+	// stampBuf is the reusable raw stamp stream (one value per stamp in
+	// stamping order); Restamp refills it in place.
+	stampBuf []float64
+
 	// solvers caches one Solver per (method, workers) so per-matrix setup
 	// (IC(0) or dense factorization) happens exactly once per model, even
-	// when many goroutines request it concurrently.
+	// when many goroutines request it concurrently. Restamp resets it: the
+	// cached factorizations describe the previous values.
 	solvers par.Group[solve.Solver]
 
 	// obs, when non-nil, receives mesh and solver metrics (see BuildObs).
@@ -156,9 +165,20 @@ func Build(spec *pdn.Spec) (*Model, error) { return BuildObs(spec, nil) }
 // counters on the model's per-matrix solver cache. A nil registry
 // disables instrumentation; the mesh built is identical either way.
 func BuildObs(spec *pdn.Spec, reg *obs.Registry) (*Model, error) {
+	_, m, err := buildBoth(spec, reg)
+	return m, err
+}
+
+// buildBoth runs the full two-phase build in one pass: geometry (layer
+// grids and node numbering), the symbolic freeze (CSR pattern), and the
+// numeric stamp (conductance values), returning the frozen Topology and
+// the first Model over it. Compress and Freeze+Scatter merge duplicate
+// stamps in the same order, so the matrix is bit-identical to what the
+// one-shot pre-split Build produced.
+func buildBoth(spec *pdn.Spec, reg *obs.Registry) (*Topology, *Model, error) {
 	defer reg.Timer("rmesh.build_time").Start()()
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := &Model{
 		Spec:  spec,
@@ -194,18 +214,18 @@ func BuildObs(spec *pdn.Spec, reg *obs.Registry) (*Model, error) {
 			}
 			ml, err := spec.LogicTech.Layer(name)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			l, err := addLayer("logic/"+name, DieLogic, name, spec.Logic.Outline, ml.Dir, ml.SheetR/u, i == 0)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if i == 0 {
 				m.logicLoad = l
 			}
 		}
 		if m.logicLoad == nil {
-			return nil, fmt.Errorf("rmesh: logic die has no load layer")
+			return nil, nil, fmt.Errorf("rmesh: logic die has no load layer")
 		}
 	}
 
@@ -213,7 +233,7 @@ func BuildObs(spec *pdn.Spec, reg *obs.Registry) (*Model, error) {
 	if spec.RDL == pdn.RDLInterface {
 		rdl := spec.DRAMTech.RDL
 		if _, err := addLayer("rdl/if", DieInterfaceRDL, rdl.Name, spec.DRAM.Outline, rdl.Dir, rdl.SheetR/rdl.MaxUsage, false); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -227,25 +247,25 @@ func BuildObs(spec *pdn.Spec, reg *obs.Registry) (*Model, error) {
 			}
 			ml, err := spec.DRAMTech.Layer(name)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			key := fmt.Sprintf("dram%d/%s", d, name)
 			l, err := addLayer(key, d, name, spec.DRAM.Outline, ml.Dir, ml.SheetR/u, i == 0)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if i == 0 {
 				m.dramLoad[d] = l
 			}
 		}
 		if m.dramLoad[d] == nil {
-			return nil, fmt.Errorf("rmesh: DRAM die %d has no load layer", d)
+			return nil, nil, fmt.Errorf("rmesh: DRAM die %d has no load layer", d)
 		}
 		if spec.RDL == pdn.RDLAll {
 			rdl := spec.DRAMTech.RDL
 			key := fmt.Sprintf("dram%d/RDL", d)
 			if _, err := addLayer(key, d, rdl.Name, spec.DRAM.Outline, rdl.Dir, rdl.SheetR/rdl.MaxUsage, false); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -259,15 +279,39 @@ func BuildObs(spec *pdn.Spec, reg *obs.Registry) (*Model, error) {
 	m.stampVias(b)
 	if err := m.stampConnections(b); err != nil {
 		stopStamp()
-		return nil, err
+		return nil, nil, err
 	}
-	m.Matrix = b.Compress()
+	pat := b.Freeze()
+	m.Matrix = pat.NewCSR()
+	pat.Scatter(m.Matrix.Val, b.RawVals())
 	stopStamp()
 	reg.Counter("rmesh.builds").Add(1)
 	reg.Counter("rmesh.nodes_total").Add(int64(m.n))
 	reg.Counter("rmesh.resistors_total").Add(int64(m.Resistors))
 	reg.Histogram("rmesh.nodes", nodeBounds).Observe(float64(m.n))
-	return m, nil
+
+	t := &Topology{
+		key:       speckey.Topology(spec),
+		pattern:   pat,
+		n:         m.n,
+		stamps:    b.NNZStamps(),
+		layers:    cloneLayers(m.Layers),
+		logicLoad: -1,
+	}
+	t.dramLoad = make([]int, len(m.dramLoad))
+	for i := range m.Layers {
+		for d, dl := range m.dramLoad {
+			if m.Layers[i] == dl {
+				t.dramLoad[d] = i
+			}
+		}
+		if m.Layers[i] == m.logicLoad && m.logicLoad != nil {
+			t.logicLoad = i
+		}
+	}
+	m.topo = t
+	m.stampBuf = b.RawVals()
+	return t, m, nil
 }
 
 // orderedLayers returns the PDN layer names of a technology in stack order
@@ -281,7 +325,7 @@ func orderedLayers(t *tech.Technology) []string {
 }
 
 // stampLayer adds the intra-layer segment and PG-ring conductances.
-func (m *Model) stampLayer(b *sparse.Builder, l *Layer) {
+func (m *Model) stampLayer(b stamper, l *Layer) {
 	g := l.Grid
 	sx, sy := g.StepX(), g.StepY()
 	// Conductance of one segment along x: stripes of total width u*sy
@@ -341,7 +385,7 @@ func (m *Model) stampLayer(b *sparse.Builder, l *Layer) {
 
 // stampVias connects the PDN layers of each die with via arrays at every
 // grid node.
-func (m *Model) stampVias(b *sparse.Builder) {
+func (m *Model) stampVias(b stamper) {
 	for i := 0; i+1 < len(m.Layers); i++ {
 		lo, hi := m.Layers[i], m.Layers[i+1]
 		if lo.Die != hi.Die || lo.Die == DieInterfaceRDL {

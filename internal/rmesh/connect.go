@@ -5,13 +5,12 @@ import (
 
 	"pdn3d/internal/geom"
 	"pdn3d/internal/pdn"
-	"pdn3d/internal/sparse"
 )
 
 // stampConnections wires the dies together and to the package supply:
 // C4 ties, TSV stacks, dedicated TSVs, F2F carpets, B2B links, RDL
 // attachments and backside bond wires.
-func (m *Model) stampConnections(b *sparse.Builder) error {
+func (m *Model) stampConnections(b stamper) error {
 	spec := m.Spec
 	dt := spec.DRAMTech
 	memSites := spec.TSVSites()

@@ -172,9 +172,11 @@ type debugRequestsBody struct {
 	Slowest []obs.TraceSnapshot `json:"slowest"`
 }
 
-// handleDebugRequests serves the retained request traces: the full
-// recent+slowest buffers, or one trace with ?id=<trace-id> (404 when it
-// has aged out or never existed).
+// handleDebugRequests serves the retained request traces: the
+// recent+slowest buffers (?limit=N truncates each list to its N newest /
+// slowest entries), or one trace with ?id=<trace-id> (404 when it has
+// aged out or never existed). Errors use the same JSON envelope as the
+// /v1/* endpoints.
 func (s *Server) handleDebugRequests(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires GET", req.URL.Path))
@@ -189,12 +191,31 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, &ts)
 		return
 	}
+	limit := -1
+	if raw := req.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: limit %q must be a non-negative integer", raw))
+			return
+		}
+		limit = n
+	}
 	recent, slowest, added := s.traces.Snapshot()
 	if recent == nil {
 		recent = []obs.TraceSnapshot{}
 	}
 	if slowest == nil {
 		slowest = []obs.TraceSnapshot{}
+	}
+	// Both lists are ordered most-interesting first (newest / slowest), so
+	// truncation keeps the entries a capped client wants.
+	if limit >= 0 {
+		if limit < len(recent) {
+			recent = recent[:limit]
+		}
+		if limit < len(slowest) {
+			slowest = slowest[:limit]
+		}
 	}
 	writeJSON(w, http.StatusOK, &debugRequestsBody{Added: added, Recent: recent, Slowest: slowest})
 }

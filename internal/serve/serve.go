@@ -17,6 +17,13 @@
 //   - Singleflight: concurrent misses on one cache key collapse to a
 //     single solve via par.Group; the group is Forgotten after the value
 //     moves into the LRU, so only in-flight work lives in it.
+//   - Topology tier: analyzer builds go through a second bounded LRU
+//     keyed by the topology half of the spec key (the mesh shape). A
+//     full-key near-miss that shares a shape — a value-only variation of
+//     a cached design — skips geometry and symbolic work and restamps
+//     conductances over the frozen pattern, bit-identical to a cold
+//     build. With Config.WarmStart on, designs sharing a topology also
+//     seed each other's solves.
 //   - Cancellation: each solve runs under the request context through
 //     irdrop.AnalyzeCtx, so an abandoned connection stops burning CPU at
 //     the next solver-iteration boundary.
@@ -24,7 +31,8 @@
 // Responses carry only deterministic fields (no timings, no timestamps):
 // for a given request the body is byte-identical across runs and across
 // worker counts, which is what makes the cache sound and the service
-// regression-testable.
+// regression-testable. (Config.WarmStart trades this byte-stability for
+// throughput; it is off by default.)
 package serve
 
 import (
@@ -45,6 +53,7 @@ import (
 	"pdn3d/internal/obs"
 	"pdn3d/internal/par"
 	"pdn3d/internal/query"
+	"pdn3d/internal/rmesh"
 	"pdn3d/internal/speckey"
 )
 
@@ -71,6 +80,16 @@ type Config struct {
 	// DesignCacheSize bounds the analyzer and LUT LRUs (distinct designs
 	// held in memory); <= 0 selects 64.
 	DesignCacheSize int
+	// TopoCacheSize bounds the frozen mesh-topology LRU (distinct design
+	// shapes); <= 0 selects DesignCacheSize. A full-key near-miss that
+	// hits here skips geometry and symbolic work and only restamps values.
+	TopoCacheSize int
+	// WarmStart seeds each design's solves with the latest solution
+	// published for its topology. Warm solves converge to the same
+	// tolerance but are NOT byte-identical to cold ones, so this breaks
+	// the byte-determinism contract on response bodies — off by default,
+	// opt in when throughput matters more than bit-stability.
+	WarmStart bool
 	// MaxBatch caps queries per /v1/batch request; <= 0 selects 256.
 	MaxBatch int
 	// TraceBufSize bounds each /debug/requests retention class (the N
@@ -114,7 +133,16 @@ type Server struct {
 	luts      *lru[*lut.Table]
 	lflights  par.Group[*lut.Table]
 
+	// Topology tier: frozen mesh shapes keyed by the topology half of the
+	// spec key. A query whose full spec key misses but whose topology key
+	// hits restamps values over the cached shape instead of rebuilding
+	// geometry and re-sorting the pattern; the entry also carries the
+	// per-topology warm-start cell.
+	topos    *lru[*topoEntry]
+	tflights par.Group[*topoEntry]
+
 	cacheHits, cacheMisses *obs.Counter
+	topoHits, topoMisses   *obs.Counter
 	admitted               *obs.Counter
 	rejectedBusy           *obs.Counter
 	rejectedDraining       *obs.Counter
@@ -146,6 +174,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
+	if cfg.TopoCacheSize <= 0 {
+		cfg.TopoCacheSize = cfg.DesignCacheSize
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Reg,
@@ -154,11 +185,14 @@ func New(cfg Config) *Server {
 		results:   newLRU[[]byte](cfg.CacheSize),
 		analyzers: newLRU[*irdrop.Analyzer](cfg.DesignCacheSize),
 		luts:      newLRU[*lut.Table](cfg.DesignCacheSize),
+		topos:     newLRU[*topoEntry](cfg.TopoCacheSize),
 	}
 	s.flights.Hits = s.reg.Counter("serve.flight.hits")
 	s.flights.Misses = s.reg.Counter("serve.flight.misses")
 	s.cacheHits = s.reg.Counter("serve.cache.hits")
 	s.cacheMisses = s.reg.Counter("serve.cache.misses")
+	s.topoHits = s.reg.Counter("serve.topo_cache.hits")
+	s.topoMisses = s.reg.Counter("serve.topo_cache.misses")
 	s.admitted = s.reg.Counter("serve.admission.admitted")
 	s.rejectedBusy = s.reg.Counter("serve.admission.rejected_busy")
 	s.rejectedDraining = s.reg.Counter("serve.admission.rejected_draining")
@@ -394,7 +428,7 @@ func (s *Server) analyzeOne(ctx context.Context, q query.Query) ([]byte, int, er
 		// in this goroutine or not at all.
 		ran = true
 		fctx := obs.WithSpan(ctx, fs)
-		a, err := s.analyzerFor(r)
+		a, err := s.analyzerFor(fctx, r)
 		if err != nil {
 			return nil, err
 		}
@@ -442,20 +476,77 @@ func marshalAnalyze(r *query.Resolved, res *irdrop.Result) ([]byte, error) {
 	})
 }
 
+// topoEntry is one cached mesh shape plus its warm-start cell: every
+// analyzer sharing the topology also shares the latest published solution
+// (when Config.WarmStart is on).
+type topoEntry struct {
+	topo *rmesh.Topology
+	warm *irdrop.WarmStart
+}
+
+// topologyFor returns the frozen topology for the resolved design's shape,
+// building at most one per topology key under singleflight. outcome is
+// "full" when this call executed the build and "restamp" when the shape
+// was already frozen (cache hit or shared flight) — the label the mesh
+// span and cache metrics carry.
+func (s *Server) topologyFor(r *query.Resolved) (te *topoEntry, outcome string, err error) {
+	key := r.TopoKey()
+	if te, ok := s.topos.get(key); ok {
+		s.topoHits.Add(1)
+		return te, "restamp", nil
+	}
+	s.topoMisses.Add(1)
+	built := false
+	te, err = s.tflights.Do(key, func() (*topoEntry, error) {
+		// built is only written here and read after Do: the Group runs fn
+		// in this goroutine or not at all.
+		built = true
+		t, err := rmesh.BuildTopologyObs(r.Spec, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		return &topoEntry{topo: t, warm: &irdrop.WarmStart{}}, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	s.topos.put(key, te)
+	s.tflights.Forget(key)
+	if built {
+		return te, "full", nil
+	}
+	return te, "restamp", nil
+}
+
 // analyzerFor returns the analyzer for the resolved design, building at
-// most one per design key under singleflight.
-func (s *Server) analyzerFor(r *query.Resolved) (*irdrop.Analyzer, error) {
+// most one per design key under singleflight. Builds go topology-first:
+// the mesh shape comes from the topology tier (frozen once per shape) and
+// the analyzer restamps its values over it — a full-key near-miss that
+// shares a shape skips geometry and symbolic work. The goroutine that
+// executes the build records a "mesh" child span of ctx's active span,
+// annotated outcome="full" (this call also froze the topology) or
+// "restamp" (the shape was already cached).
+func (s *Server) analyzerFor(ctx context.Context, r *query.Resolved) (*irdrop.Analyzer, error) {
 	key := r.SpecKey()
 	if a, ok := s.analyzers.get(key); ok {
 		return a, nil
 	}
 	a, err := s.aflights.Do(key, func() (*irdrop.Analyzer, error) {
-		a, err := irdrop.NewObs(r.Spec, r.Bench.DRAMPower, r.Logic, s.reg)
+		te, outcome, err := s.topologyFor(r)
+		if err != nil {
+			return nil, err
+		}
+		ms := obs.SpanFrom(ctx).Child("mesh", obs.A("outcome", outcome))
+		defer ms.End()
+		a, err := irdrop.NewFromTopologyObs(te.topo, r.Spec, r.Bench.DRAMPower, r.Logic, s.reg)
 		if err != nil {
 			return nil, err
 		}
 		a.Opts.Method = s.cfg.Solver
 		a.Opts.Workers = s.cfg.Workers
+		if s.cfg.WarmStart {
+			a.Warm = te.warm
+		}
 		return a, nil
 	})
 	if err != nil {
@@ -611,7 +702,7 @@ func (s *Server) handleLUT(w http.ResponseWriter, req *http.Request) {
 	if len(levels) == 0 {
 		levels = lut.DefaultIOLevels()
 	}
-	t, err := s.lutFor(r, maxPerDie, levels)
+	t, err := s.lutFor(req.Context(), r, maxPerDie, levels)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
@@ -651,7 +742,7 @@ func (s *Server) handleLUT(w http.ResponseWriter, req *http.Request) {
 
 // lutFor returns the cached table for the design grid, building at most
 // one per key under singleflight.
-func (s *Server) lutFor(r *query.Resolved, maxPerDie int, levels []float64) (*lut.Table, error) {
+func (s *Server) lutFor(ctx context.Context, r *query.Resolved, maxPerDie int, levels []float64) (*lut.Table, error) {
 	var kb speckey.Builder
 	kb.Str(r.SpecKey())
 	kb.Int(maxPerDie)
@@ -663,7 +754,7 @@ func (s *Server) lutFor(r *query.Resolved, maxPerDie int, levels []float64) (*lu
 		return t, nil
 	}
 	t, err := s.lflights.Do(key, func() (*lut.Table, error) {
-		a, err := s.analyzerFor(r)
+		a, err := s.analyzerFor(ctx, r)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"pdn3d/internal/obs"
+)
+
+// TestTopologyCacheSurvivesAnalyzerEviction: with a one-entry analyzer
+// cache and a roomier topology cache, re-querying an evicted design must
+// rebuild its analyzer by restamping over the retained shape — a "mesh"
+// span with outcome=restamp and a topology-cache hit — instead of paying
+// the full geometry + symbolic build again.
+func TestTopologyCacheSurvivesAnalyzerEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{DesignCacheSize: 1, TopoCacheSize: 8})
+
+	// Design A: full build (cold everything).
+	post(t, ts.URL+"/v1/analyze", goodQuery)
+	// Design B (different TSV count → different shape): evicts A's analyzer.
+	post(t, ts.URL+"/v1/analyze", `{"bench":"ddr3-off","state":"0-0-0-2","io":1.0,"tsv":64}`)
+	// Design A again, new state so the result cache misses: the analyzer
+	// was evicted but its topology was not.
+	resp, body := post(t, ts.URL+"/v1/analyze", `{"bench":"ddr3-off","state":"1-0-0-2","io":1.0}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+
+	snap := s.reg.Snapshot()
+	if got := snap.Counters["serve.topo_cache.hits"]; got != 1 {
+		t.Errorf("topo_cache.hits = %d, want 1 (third request reuses A's shape)", got)
+	}
+	if got := snap.Counters["serve.topo_cache.misses"]; got != 2 {
+		t.Errorf("topo_cache.misses = %d, want 2 (two cold shapes)", got)
+	}
+	if got := snap.Counters["rmesh.builds"]; got != 2 {
+		t.Errorf("rmesh.builds = %d, want 2 (the restamp path must not rebuild)", got)
+	}
+	if got := snap.Counters["rmesh.restamps"]; got != 3 {
+		t.Errorf("rmesh.restamps = %d, want 3 (every analyzer mints its model by restamp)", got)
+	}
+
+	// The third request's trace must carry a mesh span labeled restamp.
+	id := resp.Header.Get("X-Trace-Id")
+	_, dbody := getBody(t, ts.URL+"/debug/requests?id="+id)
+	var trace obs.TraceSnapshot
+	if err := json.Unmarshal(dbody, &trace); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range trace.Spans {
+		if sp.Name == "mesh" {
+			found = true
+			if sp.Attrs["outcome"] != "restamp" {
+				t.Errorf("mesh span outcome = %q, want restamp", sp.Attrs["outcome"])
+			}
+		}
+	}
+	if !found {
+		t.Error("third request recorded no mesh span")
+	}
+}
+
+// TestWarmStartOptIn: with Config.WarmStart on, solves for one design seed
+// each other. The answers are no longer byte-guaranteed — the documented
+// trade — but must stay within solver tolerance of a cold server's.
+func TestWarmStartOptIn(t *testing.T) {
+	warmS, warmTS := newTestServer(t, Config{WarmStart: true})
+	_, coldTS := newTestServer(t, Config{})
+
+	queries := []string{
+		goodQuery,
+		`{"bench":"ddr3-off","state":"1-0-0-2","io":1.0}`,
+		`{"bench":"ddr3-off","state":"2-0-0-2","io":1.0}`,
+	}
+	for _, q := range queries {
+		_, warmBody := post(t, warmTS.URL+"/v1/analyze", q)
+		_, coldBody := post(t, coldTS.URL+"/v1/analyze", q)
+		var warm, cold AnalyzeResponse
+		if err := json.Unmarshal(warmBody, &warm); err != nil {
+			t.Fatalf("warm body: %v\n%s", err, warmBody)
+		}
+		if err := json.Unmarshal(coldBody, &cold); err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Converged {
+			t.Fatalf("warm solve did not converge: %s", warmBody)
+		}
+		// The analyzer solves at Tol=1e-8 relative residual, which admits
+		// a few µV of trajectory-dependent drift on a ~30 mV answer; 10 µV
+		// bounds that while still catching a genuinely wrong solve.
+		if math.Abs(warm.MaxIRmV-cold.MaxIRmV) > 1e-2 {
+			t.Errorf("state %s: warm MaxIR %.6f mV vs cold %.6f mV beyond tolerance",
+				warm.State, warm.MaxIRmV, cold.MaxIRmV)
+		}
+	}
+	snap := warmS.reg.Snapshot()
+	var warmStarts int64
+	for name, v := range snap.Counters {
+		if name == "solve.cg-ic0.warm_starts" || name == "solve.cg-jacobi.warm_starts" {
+			warmStarts += v
+		}
+	}
+	if warmStarts < 2 {
+		t.Errorf("warm_starts = %d, want >= 2 (second and third solves seeded)", warmStarts)
+	}
+}
+
+// TestWarmStartDefaultOff: the byte-determinism contract holds by default,
+// so no solve may be seeded unless the operator opts in.
+func TestWarmStartDefaultOff(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/analyze", goodQuery)
+	post(t, ts.URL+"/v1/analyze", `{"bench":"ddr3-off","state":"1-0-0-2","io":1.0}`)
+	for name, v := range s.reg.Snapshot().Counters {
+		if v != 0 && (name == "solve.cg-ic0.warm_starts" || name == "solve.cg-jacobi.warm_starts") {
+			t.Errorf("%s = %d with WarmStart off, want 0", name, v)
+		}
+	}
+}
+
+// TestDebugRequestsLimit: ?limit=N truncates both buffers, limit=0 empties
+// them, and malformed limits get the standard JSON error envelope.
+func TestDebugRequestsLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceBufSize: 8})
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"bench":"ddr3-off","state":"0-0-0-2","io":0.%d}`, i+1))
+	}
+	for _, tc := range []struct{ limit, want int }{{1, 1}, {2, 2}, {0, 0}, {100, 3}} {
+		_, body := getBody(t, fmt.Sprintf("%s/debug/requests?limit=%d", ts.URL, tc.limit))
+		var b debugRequestsBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Recent) != tc.want || len(b.Slowest) != tc.want {
+			t.Errorf("limit=%d: recent=%d slowest=%d, want %d each", tc.limit, len(b.Recent), len(b.Slowest), tc.want)
+		}
+		if b.Added != 3 {
+			t.Errorf("limit=%d: added = %d, want 3 (limit must not hide the total)", tc.limit, b.Added)
+		}
+	}
+	for _, bad := range []string{"-1", "abc", "1.5"} {
+		resp, body := getBody(t, ts.URL+"/debug/requests?limit="+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("limit=%q status = %d, want 400", bad, resp.StatusCode)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("limit=%q error not in the JSON envelope: %s", bad, body)
+		}
+	}
+}

@@ -143,7 +143,7 @@ func TestBatchTracePropagation(t *testing.T) {
 			if names[sp.Parent] != "item" {
 				t.Errorf("%s span parent is %q, want item", sp.Name, names[sp.Parent])
 			}
-		case "stamp", "solve", "serialize":
+		case "mesh", "stamp", "solve", "serialize":
 			if names[sp.Parent] != "flight" {
 				t.Errorf("%s span parent is %q, want flight", sp.Name, names[sp.Parent])
 			}
@@ -151,9 +151,12 @@ func TestBatchTracePropagation(t *testing.T) {
 			t.Errorf("unexpected span %q", sp.Name)
 		}
 	}
+	// The batch holds three queries over two distinct designs, so the
+	// analyzer singleflight runs two mesh builds; both are cold, hence
+	// outcome=full.
 	want := map[string]int{
 		"request": 1, "queue": 1, "item": 3, "cache": 3,
-		"flight": 3, "stamp": 3, "solve": 3, "serialize": 3,
+		"flight": 3, "mesh": 2, "stamp": 3, "solve": 3, "serialize": 3,
 	}
 	for name, n := range want {
 		if count[name] != n {
@@ -169,6 +172,9 @@ func TestBatchTracePropagation(t *testing.T) {
 		}
 		if sp.Name == "flight" && sp.Attrs["outcome"] != "solve" {
 			t.Errorf("flight span attrs = %v, want outcome=solve", sp.Attrs)
+		}
+		if sp.Name == "mesh" && sp.Attrs["outcome"] != "full" {
+			t.Errorf("mesh span attrs = %v, want outcome=full (cold topology cache)", sp.Attrs)
 		}
 	}
 }

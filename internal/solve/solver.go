@@ -158,6 +158,9 @@ func newCGSolver(method string, a *sparse.CSR, pre Preconditioner, opt Options, 
 func (s *cgSolver) Method() string { return s.method }
 
 func (s *cgSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	if opt.X0 != nil {
+		s.m.warmStarts.Add(1)
+	}
 	stop := s.m.solveTime.Start()
 	x, stats, err := pcg(s.a, s.pre, b, opt, s.k)
 	stop()
@@ -176,6 +179,8 @@ type cholSolver struct {
 func (s *cholSolver) Method() string { return MethodCholesky }
 
 func (s *cholSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error) {
+	// A direct factorization gains nothing from a starting guess, so
+	// opt.X0 is ignored — exact solves are trivially "warm".
 	// The dense triangular solves have no iteration boundary to poll, so
 	// cancellation is honored only before the work starts.
 	if opt.Cancel != nil {

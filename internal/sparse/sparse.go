@@ -66,10 +66,46 @@ func (b *Builder) AddToGround(i int, g float64) {
 // duplicate merging). Useful for capacity diagnostics.
 func (b *Builder) NNZStamps() int { return len(b.vals) }
 
-// Compress merges duplicates and produces an immutable CSR matrix.
+// RawVals returns the raw stamp values in stamp order, aliasing the
+// builder's storage. Together with Pattern.Scatter it lets a caller
+// compress without re-sorting: Freeze once, then Scatter any stamp stream
+// with the same structure.
+func (b *Builder) RawVals() []float64 { return b.vals }
+
+// Compress merges duplicates and produces an immutable CSR matrix. It is
+// Freeze + NewCSR + Scatter, so one-shot builds and pattern-reusing
+// restamps produce bit-identical matrices by construction.
 func (b *Builder) Compress() *CSR {
+	p := b.Freeze()
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.vals)
+	return m
+}
+
+// Pattern is the frozen symbolic structure of a compressed matrix: the CSR
+// row pointers and column indices, plus the stamp→slot mapping that merges
+// duplicate coordinates. A Pattern is immutable and safe for concurrent
+// use; it can Scatter any number of raw stamp streams that follow the same
+// stamping order as the builder it was frozen from.
+type Pattern struct {
+	n      int
+	rowPtr []int32
+	col    []int32
+	// order lists the raw stamp indices sorted by (row, col) — the exact
+	// merge order the one-shot Compress uses, preserved so that summing
+	// duplicates during Scatter is bit-identical to Compress.
+	order []int32
+	// slot[i] is the CSR value slot stamp order[i] merges into.
+	slot []int32
+}
+
+// Freeze captures the builder's symbolic structure as an immutable
+// Pattern. The builder's stamp coordinates — not its values — define the
+// pattern: a later stamp stream with the same coordinates in the same
+// order can be Scattered through it.
+func (b *Builder) Freeze() *Pattern {
 	type key struct{ r, c int32 }
-	// Sort triplets by (row, col) and merge adjacent duplicates.
+	// Sort stamps by (row, col); duplicates merge in sorted order.
 	idx := make([]int, len(b.vals))
 	for i := range idx {
 		idx[i] = i
@@ -82,28 +118,68 @@ func (b *Builder) Compress() *CSR {
 		return b.cols[ia] < b.cols[ic]
 	})
 
-	m := &CSR{
-		N:      b.n,
-		RowPtr: make([]int32, b.n+1),
+	p := &Pattern{
+		n:      b.n,
+		rowPtr: make([]int32, b.n+1),
+		order:  make([]int32, len(idx)),
+		slot:   make([]int32, len(idx)),
 	}
 	var prev key
 	first := true
-	for _, t := range idx {
+	for i, t := range idx {
+		p.order[i] = int32(t)
 		k := key{b.rows[t], b.cols[t]}
-		if !first && k == prev {
-			m.Val[len(m.Val)-1] += b.vals[t]
-			continue
+		if first || k != prev {
+			first = false
+			prev = k
+			p.col = append(p.col, k.c)
+			p.rowPtr[k.r+1]++
 		}
-		first = false
-		prev = k
-		m.Col = append(m.Col, k.c)
-		m.Val = append(m.Val, b.vals[t])
-		m.RowPtr[k.r+1]++
+		p.slot[i] = int32(len(p.col) - 1)
 	}
 	for i := 0; i < b.n; i++ {
-		m.RowPtr[i+1] += m.RowPtr[i]
+		p.rowPtr[i+1] += p.rowPtr[i]
 	}
-	return m
+	return p
+}
+
+// N returns the matrix dimension.
+func (p *Pattern) N() int { return p.n }
+
+// NNZ returns the number of stored entries after duplicate merging.
+func (p *Pattern) NNZ() int { return len(p.col) }
+
+// Stamps returns the number of raw stamps the pattern was frozen from. A
+// stream passed to Scatter must have exactly this length.
+func (p *Pattern) Stamps() int { return len(p.order) }
+
+// NewCSR returns a CSR matrix over this pattern with a zero value array.
+// The row pointers and column indices are shared with the pattern (and
+// with every other CSR made from it) — callers must treat them as
+// read-only, which the solver stack already does. Only the value array is
+// fresh, so one topology serves many concurrently-solved value sets.
+func (p *Pattern) NewCSR() *CSR {
+	return &CSR{N: p.n, RowPtr: p.rowPtr, Col: p.col, Val: make([]float64, len(p.col))}
+}
+
+// Scatter compresses a raw stamp stream into dst, which must be the value
+// array of a CSR made from this pattern (len == NNZ). raw must contain
+// exactly Stamps() values in the original stamping order. Duplicates are
+// summed in the same order Compress merges them, so the result is
+// bit-identical to rebuilding through a Builder with the same stamps.
+func (p *Pattern) Scatter(dst, raw []float64) {
+	if len(raw) != len(p.order) {
+		panic(fmt.Sprintf("sparse: Scatter got %d raw stamps, pattern has %d", len(raw), len(p.order)))
+	}
+	if len(dst) != len(p.col) {
+		panic(fmt.Sprintf("sparse: Scatter dst length %d != pattern nnz %d", len(dst), len(p.col)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, t := range p.order {
+		dst[p.slot[i]] += raw[t]
+	}
 }
 
 // CSR is a compressed-sparse-row matrix.

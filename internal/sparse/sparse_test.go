@@ -216,3 +216,115 @@ func TestMulVecParMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// buildRandomStamps fills a builder with a deterministic pseudo-random
+// stamp stream containing duplicates, negatives, and ground ties.
+func buildRandomStamps(n, stamps int) *Builder {
+	b := NewBuilder(n)
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	for k := 0; k < stamps; k++ {
+		i := int(next() % uint64(n))
+		j := int(next() % uint64(n))
+		g := float64(next()%1000)/997 + 0.001
+		if i == j {
+			b.AddToGround(i, g)
+		} else {
+			b.AddConductance(i, j, g)
+		}
+	}
+	return b
+}
+
+// Freeze+NewCSR+Scatter must be bitwise indistinguishable from Compress:
+// same structure, same duplicate-merge order, same values.
+func TestPatternScatterMatchesCompress(t *testing.T) {
+	b := buildRandomStamps(50, 400)
+	want := b.Compress()
+	p := b.Freeze()
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.RawVals())
+	if m.N != want.N || m.NNZ() != want.NNZ() {
+		t.Fatalf("shape %dx%d nnz=%d, want %dx%d nnz=%d", m.N, m.N, m.NNZ(), want.N, want.N, want.NNZ())
+	}
+	for i := range want.Val {
+		if math.Float64bits(m.Val[i]) != math.Float64bits(want.Val[i]) {
+			t.Fatalf("Val[%d] = %x, want %x", i, math.Float64bits(m.Val[i]), math.Float64bits(want.Val[i]))
+		}
+	}
+	for i := 0; i < want.N; i++ {
+		for j := 0; j < want.N; j++ {
+			if m.At(i, j) != want.At(i, j) {
+				t.Fatalf("At(%d,%d) = %g, want %g", i, j, m.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// A pattern is reusable: scattering a second stamp stream with the same
+// coordinates into the same destination must fully overwrite the first.
+func TestPatternScatterOverwrites(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddConductance(0, 1, 2)
+	b.AddToGround(0, 5)
+	p := b.Freeze()
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.RawVals())
+	first := m.At(0, 0)
+
+	// Same stream shape, halved values.
+	b2 := NewBuilder(3)
+	b2.AddConductance(0, 1, 1)
+	b2.AddToGround(0, 2.5)
+	p.Scatter(m.Val, b2.RawVals())
+	if m.At(0, 0) != first/2 {
+		t.Errorf("second scatter left stale values: At(0,0) = %g, want %g", m.At(0, 0), first/2)
+	}
+	if m.At(0, 1) != -1 {
+		t.Errorf("At(0,1) = %g, want -1", m.At(0, 1))
+	}
+}
+
+// Stamps/N/NNZ describe the frozen stream; Scatter validates both lengths.
+func TestPatternScatterPanicsOnMismatch(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddConductance(0, 1, 1)
+	p := b.Freeze()
+	if p.N() != 4 || p.Stamps() != 4 || p.NNZ() != 4 {
+		t.Fatalf("pattern shape n=%d stamps=%d nnz=%d, want 4/4/4", p.N(), p.Stamps(), p.NNZ())
+	}
+	m := p.NewCSR()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("short raw", func() { p.Scatter(m.Val, make([]float64, 3)) })
+	mustPanic("short dst", func() { p.Scatter(make([]float64, 3), make([]float64, 4)) })
+}
+
+// NewCSR shares the frozen structure but never the values: two matrices
+// minted from one pattern hold independent value arrays.
+func TestPatternNewCSRIndependentValues(t *testing.T) {
+	b := buildRandomStamps(10, 40)
+	p := b.Freeze()
+	m1, m2 := p.NewCSR(), p.NewCSR()
+	p.Scatter(m1.Val, b.RawVals())
+	for _, v := range m2.Val {
+		if v != 0 {
+			t.Fatal("fresh pattern CSR has nonzero values")
+		}
+	}
+	m2.Val[0] = 42
+	if m1.Val[0] == 42 {
+		t.Fatal("pattern CSRs share value storage")
+	}
+}

@@ -55,16 +55,35 @@ func (k *Builder) Usage(m map[string]float64) {
 // String returns the assembled key.
 func (k *Builder) String() string { return k.sb.String() }
 
-// Spec fingerprints every spec field the R-Mesh build and power models
-// read, canonically: distinct designs cannot collide, identical designs
-// always hit the cache. withLogic records whether the logic die is
-// analyzed loaded, which changes results without changing the spec.
-func Spec(s *pdn.Spec, withLogic bool) string {
+// Support appends the sorted nonzero-keyed support of a string-keyed
+// float map — which entries exist, not their magnitudes. Layers with zero
+// usage are not built at all, so the support is part of a design's mesh
+// shape while the magnitudes are not.
+func (k *Builder) Support(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for key, v := range m {
+		if v != 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	k.Int(len(keys))
+	for _, key := range keys {
+		k.Str(key)
+	}
+}
+
+// Topology fingerprints the spec fields that determine the R-Mesh shape:
+// node numbering, layer/via/link structure, and the symbolic CSR pattern.
+// Two specs with equal topology keys can share one rmesh.Topology — only
+// conductance values differ between them. The metal usage maps contribute
+// only their support (which layers exist), never their magnitudes.
+func Topology(s *pdn.Spec) string {
 	var k Builder
 	k.Str(s.Name)
 	k.Int(s.NumDRAM)
-	k.Usage(s.Usage)
-	k.Usage(s.LogicUsage)
+	k.Support(s.Usage)
+	k.Support(s.LogicUsage)
 	k.Int(s.TSVCount)
 	k.Str(s.TSVStyle.String())
 	k.Str(s.Bonding.String())
@@ -75,7 +94,6 @@ func Spec(s *pdn.Spec, withLogic bool) string {
 	k.Int(s.WiresPerDie)
 	k.Float(s.EffMeshPitch())
 	k.Bool(s.OnLogic)
-	k.Bool(withLogic)
 	failed := make([]int, 0, len(s.FailedTSVs))
 	for f := range s.FailedTSVs {
 		failed = append(failed, f)
@@ -85,5 +103,29 @@ func Spec(s *pdn.Spec, withLogic bool) string {
 	for _, f := range failed {
 		k.Int(f)
 	}
+	return k.String()
+}
+
+// Values fingerprints the spec fields a value-only restamp rewrites: the
+// metal usage magnitudes (which set every layer's effective sheet
+// resistance) and whether the logic die is analyzed loaded, which changes
+// the right-hand side without changing the spec.
+func Values(s *pdn.Spec, withLogic bool) string {
+	var k Builder
+	k.Usage(s.Usage)
+	k.Usage(s.LogicUsage)
+	k.Bool(withLogic)
+	return k.String()
+}
+
+// Spec fingerprints every spec field the R-Mesh build and power models
+// read, canonically: distinct designs cannot collide, identical designs
+// always hit the cache. It is the framed concatenation of the Topology
+// and Values keys, so the full key splits cleanly into "which mesh shape"
+// and "which conductance values" — the serving layer's two cache tiers.
+func Spec(s *pdn.Spec, withLogic bool) string {
+	var k Builder
+	k.Str(Topology(s))
+	k.Str(Values(s, withLogic))
 	return k.String()
 }
