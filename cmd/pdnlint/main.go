@@ -1,27 +1,48 @@
-// Command pdnlint runs the project's static-analysis suite: six
-// analyzers that machine-check the determinism, numerical-safety, and
-// concurrency invariants the solver stack relies on (see DESIGN.md,
-// "Static analysis layer").
+// Command pdnlint runs the project's static-analysis suite: the
+// analyzers that machine-check the determinism, numerical-safety,
+// concurrency, and immutability invariants the solver stack relies on
+// (see DESIGN.md, "Static analysis layer").
 //
 // Usage:
 //
 //	go run ./cmd/pdnlint ./...
 //
 // Findings print one per line as file:line:col: message (analyzer); the
-// exit status is 1 if there are any, so CI can gate on it. A finding
-// that is a deliberate, justified exception can be waived in place:
+// exit status is 1 if any error-severity finding remains, so CI can
+// gate on it. With -json the findings are emitted as a JSON array
+// instead (fields analyzer, file, line, col, severity, message; paths
+// relative to the working directory).
+//
+// A finding that is a deliberate, justified exception can be waived in
+// place:
 //
 //	//pdnlint:ignore <analyzer> <reason>
 //
 // Stale or malformed waivers are themselves findings (unusedsuppress).
+// For gradual adoption of a new analyzer, pre-existing findings can be
+// parked in a lint.baseline file (-baseline; tab-separated analyzer,
+// path, message per line) — baselined findings do not gate, and stale
+// baseline entries are reported so the file only shrinks. -severity
+// downgrades or disables whole analyzers, e.g.
+//
+//	pdnlint -severity ctxflow=warn,walltime=off ./...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"pdn3d/internal/lint"
+	"pdn3d/internal/lint/baseline"
+)
+
+var (
+	jsonFlag     = flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
+	baselineFlag = flag.String("baseline", "lint.baseline", "baseline file of allowlisted findings (missing file = empty baseline)")
+	severityFlag = flag.String("severity", "", "comma-separated per-analyzer overrides, e.g. ctxflow=warn,walltime=off")
 )
 
 func main() {
@@ -37,29 +58,75 @@ func main() {
 	}
 }
 
+func parseSeverity(spec string) (map[string]lint.Severity, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]lint.Severity{}
+	for _, part := range strings.Split(spec, ",") {
+		name, level, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -severity element %q (want analyzer=level)", part)
+		}
+		sev, err := lint.ParseSeverity(level)
+		if err != nil {
+			return nil, fmt.Errorf("-severity %s: %v", name, err)
+		}
+		out[name] = sev
+	}
+	return out, nil
+}
+
 func run(patterns []string) error {
+	severity, err := parseSeverity(*severityFlag)
+	if err != nil {
+		return err
+	}
+	base, err := baseline.LoadFile(*baselineFlag)
+	if err != nil {
+		return err
+	}
+	root, err := filepath.Abs(".")
+	if err != nil {
+		return err
+	}
 	prog, err := lint.Load(".", patterns...)
 	if err != nil {
 		return err
 	}
-	findings, err := lint.Run(prog, lint.Suite())
+	findings, err := lint.RunWith(prog, lint.Suite(), lint.Options{
+		Severity:     severity,
+		Baseline:     base,
+		BaselinePath: *baselineFlag,
+		Root:         root,
+	})
 	if err != nil {
 		return err
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonFlag {
+		if err := lint.WriteJSON(os.Stdout, findings, root); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			if f.Severity == lint.SeverityWarn {
+				fmt.Printf("%s [warn]\n", f)
+			} else {
+				fmt.Println(f)
+			}
+		}
 	}
-	if len(findings) > 0 {
+	if lint.ErrorCount(findings) > 0 {
 		os.Exit(1)
 	}
 	return nil
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pdnlint [packages]\n\nAnalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: pdnlint [flags] [packages]\n\nAnalyzers:\n")
 	for _, a := range lint.Suite() {
 		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 	}
-	fmt.Fprintf(os.Stderr, "\nSuppress a finding with //pdnlint:ignore <analyzer> <reason>.\n")
+	fmt.Fprintf(os.Stderr, "\nSuppress a finding with //pdnlint:ignore <analyzer> <reason>.\n\nFlags:\n")
 	flag.PrintDefaults()
 }

@@ -258,17 +258,12 @@ func (a *Analyzer) analyze(state memstate.State, io float64) (*Result, error) {
 	return a.analyzeOpts(context.Background(), state, io, a.Opts)
 }
 
-func (a *Analyzer) analyzeOpts(ctx context.Context, state memstate.State, io float64, opts solve.Options) (*Result, error) {
-	defer a.obs.Timer("irdrop.analyze_time").Start()()
+// stampLoads folds state's DRAM and logic loads into rhs, accumulating
+// the power bookkeeping fields of res. Split out of analyzeOpts so the
+// "stamp" trace span brackets exactly this work and is closed on the
+// error paths too.
+func (a *Analyzer) stampLoads(state memstate.State, io float64, rhs []float64, res *Result) error {
 	spec := a.Spec()
-	if state.NumDies() > spec.NumDRAM {
-		return nil, fmt.Errorf("irdrop: state has %d dies, design has %d", state.NumDies(), spec.NumDRAM)
-	}
-	parent := obs.SpanFrom(ctx)
-	stamp := parent.Child("stamp")
-	m := a.Model
-	rhs := m.BaseRHS()
-	res := &Result{State: state, IO: io, PerDie: make([]float64, spec.NumDRAM)}
 	for d := 0; d < spec.NumDRAM; d++ {
 		var banks []int
 		if d < len(state.Dies) {
@@ -276,27 +271,45 @@ func (a *Analyzer) analyzeOpts(ctx context.Context, state memstate.State, io flo
 		}
 		loads, err := a.DRAMPower.Loads(spec.DRAM, banks, io)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := powermap.TotalPower(loads)
 		res.TotalPower += p
 		if len(banks) > 0 {
 			res.ActiveDiePower = p
 		}
-		if err := m.AddDRAMLoads(rhs, d, loads); err != nil {
-			return nil, err
+		if err := a.Model.AddDRAMLoads(rhs, d, loads); err != nil {
+			return err
 		}
 	}
 	if a.LogicPower != nil {
 		loads, err := a.LogicPower.Loads(spec.Logic)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := m.AddLogicLoads(rhs, loads); err != nil {
-			return nil, err
+		if err := a.Model.AddLogicLoads(rhs, loads); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+func (a *Analyzer) analyzeOpts(ctx context.Context, state memstate.State, io float64, opts solve.Options) (*Result, error) {
+	defer a.obs.Timer("irdrop.analyze_time").Start()()
+	spec := a.Spec()
+	if state.NumDies() > spec.NumDRAM {
+		return nil, fmt.Errorf("irdrop: state has %d dies, design has %d", state.NumDies(), spec.NumDRAM)
+	}
+	parent := obs.SpanFrom(ctx)
+	m := a.Model
+	rhs := m.BaseRHS()
+	res := &Result{State: state, IO: io, PerDie: make([]float64, spec.NumDRAM)}
+	stamp := parent.Child("stamp")
+	err := a.stampLoads(state, io, rhs, res)
 	stamp.End()
+	if err != nil {
+		return nil, err
+	}
 	solveSpan := parent.Child("solve")
 	opts.Span = solveSpan
 	if opts.X0 == nil {

@@ -29,6 +29,12 @@ type Analyzer struct {
 	// unusedsuppress check, which needs visibility across the whole
 	// suite's diagnostics and so lives in the runner).
 	Run func(*Pass) error
+	// UsesFacts marks an analyzer that exports or imports facts. The
+	// runner analyzes packages in dependency order either way; the flag
+	// documents the dependency and lets drivers warn when such an
+	// analyzer runs over a package subset (facts from unanalyzed
+	// dependencies are silently absent).
+	UsesFacts bool
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -50,6 +56,53 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// Fact plumbing, bound by the runner via FactStore.Bind. Nil in a
+	// pass constructed without a store (facts silently disabled):
+	// exports are dropped and imports report absence.
+	exportObjectFact  func(obj types.Object, fact Fact)
+	importObjectFact  func(obj types.Object, fact Fact) bool
+	exportPackageFact func(fact Fact)
+	importPackageFact func(pkg *types.Package, fact Fact) bool
+	allPackageFacts   func() []PackageFact
+}
+
+// ExportObjectFact attaches fact to obj for downstream passes of the
+// same analyzer. The runner analyzes packages in dependency order, so a
+// fact exported while analyzing obj's declaring package is visible to
+// every pass over a package that imports it.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.exportObjectFact != nil {
+		p.exportObjectFact(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of fact's concrete type attached to
+// obj into *fact, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.importObjectFact != nil && p.importObjectFact(obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.exportPackageFact != nil {
+		p.exportPackageFact(fact)
+	}
+}
+
+// ImportPackageFact copies pkg's fact of fact's concrete type into
+// *fact, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.importPackageFact != nil && p.importPackageFact(pkg, fact)
+}
+
+// AllPackageFacts lists every package fact this analyzer has exported
+// so far, sorted by package path.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.allPackageFacts == nil {
+		return nil
+	}
+	return p.allPackageFacts()
 }
 
 // Diagnostic is one finding at a source position.

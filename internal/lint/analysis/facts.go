@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a datum one analyzer attaches to a program object (or a
+// whole package) for downstream passes to consume: "this type is
+// frozen", "this function blocks". Facts mirror the shape of
+// golang.org/x/tools/go/analysis facts — a pointer to a struct with the
+// marker method — but need no serialization: the pdnlint loader
+// type-checks the whole module in one process, so facts flow through an
+// in-memory store threaded by the runner, which analyzes packages in
+// dependency order so a fact is always exported before any dependent
+// package can ask for it.
+type Fact interface {
+	// AFact marks the type as a fact. It is never called.
+	AFact()
+}
+
+// ObjectFact is one (object, fact) pair from the store.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact is one (package, fact) pair from the store.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// FactStore holds the facts of one runner invocation, shared by every
+// (analyzer, package) pass. Facts are namespaced by analyzer, so two
+// analyzers can attach facts of the same Go type without collision. The
+// store is not safe for concurrent use; the runner drives passes
+// sequentially.
+type FactStore struct {
+	objects  map[factKey]Fact
+	packages map[pkgFactKey]Fact
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	typ      reflect.Type
+}
+
+type pkgFactKey struct {
+	analyzer string
+	pkg      *types.Package
+	typ      reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objects:  map[factKey]Fact{},
+		packages: map[pkgFactKey]Fact{},
+	}
+}
+
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Ptr {
+		panic("analysis: fact must be a pointer to a struct")
+	}
+	return t
+}
+
+// exportObject records fact for obj under the analyzer's namespace,
+// replacing any previous fact of the same concrete type.
+func (s *FactStore) exportObject(analyzer string, obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	s.objects[factKey{analyzer, obj, factType(fact)}] = fact
+}
+
+// importObject copies the stored fact of fact's concrete type for obj
+// into *fact, reporting whether one existed.
+func (s *FactStore) importObject(analyzer string, obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	stored, ok := s.objects[factKey{analyzer, obj, factType(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// exportPackage records fact for pkg under the analyzer's namespace.
+func (s *FactStore) exportPackage(analyzer string, pkg *types.Package, fact Fact) {
+	if pkg == nil {
+		panic("analysis: ExportPackageFact outside a package")
+	}
+	s.packages[pkgFactKey{analyzer, pkg, factType(fact)}] = fact
+}
+
+// importPackage copies pkg's stored fact of fact's concrete type into
+// *fact, reporting whether one existed.
+func (s *FactStore) importPackage(analyzer string, pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	stored, ok := s.packages[pkgFactKey{analyzer, pkg, factType(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// allPackageFacts returns every package fact of the analyzer, sorted by
+// package path so iteration is deterministic.
+func (s *FactStore) allPackageFacts(analyzer string) []PackageFact {
+	var out []PackageFact
+	for k, f := range s.packages {
+		if k.analyzer == analyzer {
+			out = append(out, PackageFact{Package: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package.Path() < out[j].Package.Path() })
+	return out
+}
+
+// Bind wires a Pass's fact methods to this store under the pass's
+// analyzer namespace. The runner calls it once per pass; analyzers only
+// see the Pass-level API.
+func (s *FactStore) Bind(p *Pass) {
+	name := p.Analyzer.Name
+	p.exportObjectFact = func(obj types.Object, fact Fact) { s.exportObject(name, obj, fact) }
+	p.importObjectFact = func(obj types.Object, fact Fact) bool { return s.importObject(name, obj, fact) }
+	p.exportPackageFact = func(fact Fact) { s.exportPackage(name, p.Pkg, fact) }
+	p.importPackageFact = func(pkg *types.Package, fact Fact) bool { return s.importPackage(name, pkg, fact) }
+	p.allPackageFacts = func() []PackageFact { return s.allPackageFacts(name) }
+}

@@ -1,0 +1,160 @@
+// Package baseline implements the lint.baseline file that lets a new
+// analyzer land before every pre-existing finding is fixed. The file is
+// a line-oriented allowlist checked into the repository root:
+//
+//	# comment
+//	<analyzer>\t<path>\t<message>
+//
+// where <path> is the finding's file slash-separated and relative to
+// the module root. A finding matching an entry (analyzer, path, and
+// message all equal) is demoted out of the run's failing set; line
+// numbers are deliberately not part of the key so unrelated edits above
+// a baselined finding do not resurrect it. Entries that match nothing
+// are reported by the runner so the file only ever shrinks.
+package baseline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Entry is one allowlisted finding.
+type Entry struct {
+	// Analyzer, Path, and Message form the match key. Path is
+	// slash-separated, relative to the module root.
+	Analyzer string
+	Path     string
+	Message  string
+	// Line is the baseline file line the entry came from, for stale
+	// -entry reports.
+	Line int
+	// Used records whether the entry matched a finding this run.
+	Used bool
+}
+
+// Set holds the parsed baseline.
+type Set struct {
+	entries []*Entry
+	byKey   map[[3]string][]*Entry
+}
+
+// Parse reads a baseline from r. Blank lines and lines starting with
+// '#' are ignored; every other line must have exactly three tab
+// -separated fields.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{byKey: map[[3]string][]*Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want 3 tab-separated fields (analyzer, path, message), got %d", lineNo, len(fields))
+		}
+		e := &Entry{Analyzer: fields[0], Path: fields[1], Message: fields[2], Line: lineNo}
+		if e.Analyzer == "" || e.Path == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline line %d: empty field", lineNo)
+		}
+		s.entries = append(s.entries, e)
+		s.byKey[key(e.Analyzer, e.Path, e.Message)] = append(s.byKey[key(e.Analyzer, e.Path, e.Message)], e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	return s, nil
+}
+
+// LoadFile parses the baseline at path. A missing file is not an error:
+// it yields an empty set, so repositories without a baseline need no
+// placeholder.
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Set{byKey: map[[3]string][]*Entry{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+func key(analyzer, path, message string) [3]string {
+	return [3]string{analyzer, path, message}
+}
+
+// Match reports whether the finding (analyzer, relPath, message) is
+// baselined, marking the matching entry used.
+func (s *Set) Match(analyzer, relPath, message string) bool {
+	if s == nil {
+		return false
+	}
+	entries := s.byKey[key(analyzer, relPath, message)]
+	if len(entries) == 0 {
+		return false
+	}
+	for _, e := range entries {
+		e.Used = true
+	}
+	return true
+}
+
+// Len returns the number of entries.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
+}
+
+// Stale returns the entries that matched no finding, ordered by their
+// line in the baseline file.
+func (s *Set) Stale() []*Entry {
+	if s == nil {
+		return nil
+	}
+	var out []*Entry
+	for _, e := range s.entries {
+		if !e.Used {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Format renders findings as baseline lines (analyzer, path, message,
+// tab-separated, sorted) — the format Parse accepts — so a baseline can
+// be regenerated mechanically from a run's output.
+func Format(w io.Writer, rows [][3]string) error {
+	sorted := append([][3]string(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[2] < b[2]
+	})
+	for _, r := range sorted {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\n", r[0], r[1], r[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package baseline_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdn3d/internal/lint/baseline"
+)
+
+const sample = `# pdnlint baseline
+frozenmut	internal/a/a.go	write to field n of frozen type T; values are immutable after construction
+
+lockbalance	internal/b/b.go	m.mu is locked here but not unlocked on every return path (add a defer or unlock before returning)
+`
+
+func TestParse(t *testing.T) {
+	s, err := baseline.Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (comments and blanks must not count)", s.Len())
+	}
+	if !s.Match("frozenmut", "internal/a/a.go", "write to field n of frozen type T; values are immutable after construction") {
+		t.Error("entry did not match its own key")
+	}
+	if s.Match("frozenmut", "internal/a/a.go", "some other message") {
+		t.Error("matched with a different message")
+	}
+	if s.Match("mapiter", "internal/a/a.go", "write to field n of frozen type T; values are immutable after construction") {
+		t.Error("matched with a different analyzer")
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"frozenmut internal/a/a.go space separated\n",
+		"frozenmut\tinternal/a/a.go\n",
+		"\tinternal/a/a.go\tmessage\n",
+	} {
+		if _, err := baseline.Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestStale(t *testing.T) {
+	s, err := baseline.Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s.Match("lockbalance", "internal/b/b.go", "m.mu is locked here but not unlocked on every return path (add a defer or unlock before returning)")
+	stale := s.Stale()
+	if len(stale) != 1 || stale[0].Analyzer != "frozenmut" || stale[0].Line != 2 {
+		t.Fatalf("Stale = %+v, want the line-2 frozenmut entry", stale)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	s, err := baseline.LoadFile(filepath.Join(t.TempDir(), "no.baseline"))
+	if err != nil {
+		t.Fatalf("LoadFile on a missing path: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("missing baseline yielded %d entries", s.Len())
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	rows := [][3]string{
+		{"walltime", "z.go", "later file"},
+		{"floateq", "a.go", "first file"},
+		{"ctxflow", "a.go", "same file, analyzer tie-break"},
+	}
+	var buf bytes.Buffer
+	if err := baseline.Format(&buf, rows); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := []string{
+		"ctxflow\ta.go\tsame file, analyzer tie-break",
+		"floateq\ta.go\tfirst file",
+		"walltime\tz.go\tlater file",
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	s, err := baseline.Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse of Format output: %v", err)
+	}
+	if s.Len() != len(rows) {
+		t.Errorf("round trip kept %d of %d entries", s.Len(), len(rows))
+	}
+}

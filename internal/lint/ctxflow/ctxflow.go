@@ -1,0 +1,169 @@
+// Package ctxflow keeps request cancellation intact across the call
+// stack. A function that takes a context.Context must hand that context
+// (or a value derived from it — obs.WithSpan, context.WithTimeout, and
+// friends) to every callee that accepts one. Passing
+// context.Background() or context.TODO() instead silently detaches the
+// callee from the caller's deadline, which is exactly the bug class
+// that would let a cancelled HTTP request keep a CG solve running:
+// serve → irdrop → solve stays cancellable only if every hop forwards
+// ctx. Functions without a context parameter are left alone (they are
+// entry points or pure computation), as are test files.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/dataflow"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags functions that take a context.Context but call a " +
+		"context-accepting callee with context.Background()/TODO() or a " +
+		"context not derived from their own",
+	Run: run,
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParams returns the objects of ft's context.Context parameters.
+func ctxParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isCtxType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.IsTestFile(fn.Pos()) {
+				continue
+			}
+			checkScope(pass, fn.Body, ctxParams(pass.TypesInfo, fn.Type))
+		}
+	}
+	return nil
+}
+
+// checkScope checks one function scope's statements against the
+// contexts in scope there: the function's own context parameters plus
+// any captured from enclosing functions. Nested function literals are
+// their own scopes — a handler without a context parameter is not
+// penalized for the workers it spawns with theirs, and a worker closure
+// is checked against both its parameter and any captured context.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt, seeds []types.Object) {
+	info := pass.TypesInfo
+	inScope := seeds
+	if len(seeds) > 0 {
+		derived := dataflow.Derived(info, body, seeds, func(obj types.Object) bool {
+			// Only context-typed variables can carry the derivation;
+			// this keeps e.g. a cancel func or an error assigned
+			// alongside a derived ctx from widening the set.
+			return isCtxType(obj.Type())
+		})
+		checkCalls(pass, body, derived)
+		// Everything derived here is a valid origin for nested scopes
+		// too — a closure may capture fctx rather than ctx itself.
+		inScope = make([]types.Object, 0, len(derived))
+		for obj := range derived {
+			inScope = append(inScope, obj)
+		}
+		sort.Slice(inScope, func(i, j int) bool { return inScope[i].Pos() < inScope[j].Pos() })
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkScope(pass, lit.Body, append(append([]types.Object{}, inScope...), ctxParams(info, lit.Type)...))
+			return false
+		}
+		return true
+	})
+}
+
+// checkCalls reports context misuse in body's own statements, skipping
+// nested function literals (checked as their own scopes).
+func checkCalls(pass *analysis.Pass, body *ast.BlockStmt, derived map[types.Object]bool) {
+	info := pass.TypesInfo
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && derived[obj] {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.IsPkgFunc(info, call, "context", "Background") ||
+			analysis.IsPkgFunc(info, call, "context", "TODO") {
+			pass.Reportf(call.Pos(),
+				"%s inside a function that has a context parameter; derive from it instead so cancellation propagates",
+				types.ExprString(call.Fun)+"()")
+			return true
+		}
+		callee := analysis.CalleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if !isCtxType(sig.Params().At(i).Type()) {
+				continue
+			}
+			arg := call.Args[i]
+			if mentionsDerived(arg) {
+				continue
+			}
+			// Background/TODO as the argument is already reported above
+			// (the inner CallExpr is visited by this same Inspect).
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if analysis.IsPkgFunc(info, inner, "context", "Background") ||
+					analysis.IsPkgFunc(info, inner, "context", "TODO") {
+					continue
+				}
+			}
+			pass.Reportf(arg.Pos(),
+				"call to %s drops the caller's context; pass a context derived from this function's context parameter",
+				callee.Name())
+		}
+		return true
+	})
+}

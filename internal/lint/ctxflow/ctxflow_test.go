@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{ctxflow.Analyzer}, "a")
+}

@@ -1,0 +1,70 @@
+// Package a exercises ctxflow: context propagation from a function's
+// own context parameter to every context-accepting callee.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func callee(ctx context.Context) error { return nil }
+
+func plain() {}
+
+// drops passes a fresh root context where the caller's should flow.
+func drops(ctx context.Context) {
+	callee(context.Background()) // want `context.Background\(\) inside a function that has a context parameter`
+	plain()
+}
+
+// stored reports both the root-context construction and its use.
+func stored(ctx context.Context) {
+	c2 := context.TODO() // want `context.TODO\(\) inside a function that has a context parameter`
+	callee(c2)           // want `call to callee drops the caller's context`
+}
+
+// forwards is clean: the context and values derived from it flow on.
+func forwards(ctx context.Context) {
+	callee(ctx)
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	callee(c)
+}
+
+// noParam is clean: without a context parameter there is nothing to
+// propagate, so constructing a root context is legitimate.
+func noParam() {
+	callee(context.Background())
+}
+
+func runWorker(f func(context.Context) error) {
+	_ = f(context.Background())
+}
+
+// handler is clean: the closure's own context parameter is the origin
+// inside the closure, and the enclosing function (no context parameter)
+// is not penalized for the worker it spawns.
+func handler() {
+	runWorker(func(wctx context.Context) error {
+		return callee(wctx)
+	})
+}
+
+// captured is clean: the closure forwards a context derived in the
+// enclosing scope.
+func captured(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	runWorker(func(wctx context.Context) error {
+		return callee(c)
+	})
+}
+
+// waived shows the escape hatch on a multi-line call: the directive
+// covers every line of the statement below it.
+func waived(ctx context.Context) {
+	//pdnlint:ignore ctxflow detached audit write must survive request cancellation
+	_ = callee(
+		context.Background(),
+	)
+}

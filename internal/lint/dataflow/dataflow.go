@@ -1,0 +1,420 @@
+// Package dataflow is the intra-procedural analysis substrate under
+// pdnlint's dataflow-aware analyzers (lockbalance, obscontract,
+// ctxflow). It provides a CFG-lite — per-function basic blocks over
+// go/ast statements, successors following structured control flow — and
+// a generic forward worklist solver that runs a transfer function to
+// fixpoint over it. The graph is deliberately modest: no expression
+// -level nodes, no branch-condition sensitivity, panics ignored. That is
+// enough to answer the questions the suite asks ("is this mutex
+// definitely held here", "is this span still open at this return") with
+// must/may precision and without false paths through straight-line
+// code.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: statements executed in order, then a
+// transfer of control to one of Succs. The synthetic exit block has no
+// nodes; falling off the end of a function, and every return, reaches
+// it.
+type Block struct {
+	// Nodes are the statements of the block in execution order. If,
+	// for, switch, and select headers contribute their init/condition
+	// statements to the block that evaluates them; the composite
+	// statement node itself (e.g. *ast.SelectStmt, *ast.RangeStmt) is
+	// also present, marking the point where the header's own effect
+	// (channel operation, iteration) happens.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+	// Index is the block's position in Graph.Blocks (deterministic
+	// construction order).
+	Index int
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	Blocks []*Block
+	// Entry receives control on function entry.
+	Entry *Block
+	// Exit is the synthetic sink: returns, gotos the builder cannot
+	// resolve, and the fall-off-the-end path all lead here.
+	Exit *Block
+}
+
+// Build constructs the CFG of a function body. A nil body (declarations
+// without bodies) yields a graph whose entry is the exit.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Exit = b.newBlock() // index 0, filled with edges as returns appear
+	g.Entry = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	// Fall off the end: implicit return.
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+// loopFrame tracks where break and continue jump inside one loop,
+// switch, or select; label is set when the statement is labeled.
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+	isLoop     bool
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []*loopFrame
+	// pendingLabel names the label attached to the next loop/switch/
+	// select statement.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the statement that owns it.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) push(f *loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) pop()              { b.frames = b.frames[:len(b.frames)-1] }
+
+// frameFor resolves a break/continue target: the innermost matching
+// frame, or the one carrying the label.
+func (b *builder) frameFor(label string, needLoop bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // anything after is dead code
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s) // marks condition evaluation
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s) // condition evaluation point
+			b.edge(head, after)
+		}
+		b.push(&loopFrame{label: label, breakTo: after, continueTo: post, isLoop: true})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.pop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		head.Nodes = append(head.Nodes, s) // iteration variable assignment
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.push(&loopFrame{label: label, breakTo: after, continueTo: head, isLoop: true})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.pop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.caseClauses(label, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s) // includes the Assign
+		b.caseClauses(label, s.Body.List)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.cur.Nodes = append(b.cur.Nodes, s) // the blocking point
+		b.caseClauses(label, s.Body.List)
+
+	default:
+		// Plain statements: assign, expr, send, inc/dec, defer, go,
+		// decl, empty. All effects happen in order within the block.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// caseClauses wires the clause bodies of a switch or select: every
+// clause is entered from the header block, every clause exit reaches
+// the after block, and fallthrough chains switch clauses together.
+func (b *builder) caseClauses(label string, clauses []ast.Stmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.push(&loopFrame{label: label, breakTo: after})
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	var bodies [][]ast.Stmt
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			bodies = append(bodies, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blocks[i].Nodes = append(blocks[i].Nodes, c.Comm)
+			}
+			bodies = append(bodies, c.Body)
+		}
+	}
+	for i := range blocks {
+		b.cur = blocks[i]
+		b.stmts(bodies[i])
+		if ft := fallthroughTarget(bodies[i]); ft && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	// A switch with no default (or an empty clause list) can skip every
+	// clause. A select with no default cannot skip — but modeling the
+	// extra edge only widens may-states, so it stays for uniformity.
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(head, after)
+	}
+	b.pop()
+	b.cur = after
+}
+
+// HeaderOnly returns the sub-nodes of n that execute at n's position in
+// its block. Composite control-flow statements appear in the block that
+// evaluates their header, but their nested bodies live in other blocks;
+// a transfer function that walked the whole node would attribute nested
+// effects to the header. For those statements only the header
+// expressions are returned (a select returns none — the node itself is
+// the blocking marker; its comm statements live in the clause blocks).
+// Any other node executes wholly in place and is returned as-is.
+func HeaderOnly(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{n.Cond}
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			return []ast.Node{n.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		return []ast.Node{n.X}
+	case *ast.SwitchStmt:
+		if n.Tag != nil {
+			return []ast.Node{n.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{n.Assign}
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{n}
+	}
+}
+
+// InspectHeader applies f to every node in the executed-here portion of
+// n (see HeaderOnly), in source order.
+func InspectHeader(n ast.Node, f func(ast.Node) bool) {
+	for _, h := range HeaderOnly(n) {
+		ast.Inspect(h, f)
+	}
+}
+
+// fallthroughTarget reports whether a clause body ends in fallthrough.
+func fallthroughTarget(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.frameFor(label, false); f != nil {
+			b.edge(b.cur, f.breakTo)
+		} else {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = b.newBlock()
+	case token.CONTINUE:
+		if f := b.frameFor(label, true); f != nil && f.continueTo != nil {
+			b.edge(b.cur, f.continueTo)
+		} else {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = b.newBlock()
+	case token.GOTO:
+		// Unstructured; the builder gives up and routes to exit, which
+		// keeps analyses sound for the code this module allows (rawgo
+		// culture: no gotos in the tree).
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock()
+	case token.FALLTHROUGH:
+		// Edge added by caseClauses; nothing to do here.
+	}
+}
+
+// maxForwardIterations bounds the worklist so a non-monotone transfer
+// function cannot hang the linter; 64 visits per block is far beyond
+// any lattice height the suite uses.
+const maxForwardIterations = 64
+
+// Forward runs a forward dataflow analysis to fixpoint and returns the
+// IN state of every reachable block. entry seeds the entry block; meet
+// joins states at control-flow merges (intersection for must-analyses,
+// union for may-analyses); equal detects convergence; transfer applies
+// one node's effect and must treat its input as immutable (return a
+// fresh value when anything changes).
+func Forward[S any](g *Graph, entry S, meet func(S, S) S, equal func(S, S) bool, transfer func(S, ast.Node) S) map[*Block]S {
+	in := map[*Block]S{g.Entry: entry}
+	visits := map[*Block]int{}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		if visits[blk]++; visits[blk] > maxForwardIterations {
+			continue
+		}
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = transfer(out, n)
+		}
+		for _, succ := range blk.Succs {
+			prev, seen := in[succ]
+			next := out
+			if seen {
+				next = meet(prev, out)
+				if equal(prev, next) {
+					continue
+				}
+			}
+			in[succ] = next
+			work = append(work, succ)
+		}
+	}
+	return in
+}
+
+// EachNodeState replays the transfer function through one block,
+// calling visit with the state in force immediately before each node.
+// Analyzers use it after Forward to inspect the state at specific
+// program points (a blocking call, a return).
+func EachNodeState[S any](blk *Block, in S, transfer func(S, ast.Node) S, visit func(n ast.Node, before S)) S {
+	st := in
+	for _, n := range blk.Nodes {
+		visit(n, st)
+		st = transfer(st, n)
+	}
+	return st
+}

@@ -1,0 +1,464 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of the function
+// named fn along with the fileset.
+func parseBody(t *testing.T, src, fn string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fset, fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// collectCalls lists the callee names appearing in a block's nodes, in
+// order, for structural assertions.
+func collectCalls(blk *Block) []string {
+	var names []string
+	for _, n := range blk.Nodes {
+		InspectHeader(n, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					names = append(names, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+func allCalls(g *Graph) []string {
+	var names []string
+	for _, blk := range g.Blocks {
+		names = append(names, collectCalls(blk)...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// reachable walks successor edges from entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f() { a(); b(); c() }
+func a(); func b(); func c()`, "f")
+	g := Build(body)
+	if g.Entry == g.Exit {
+		t.Fatal("entry should not be exit for a non-empty body")
+	}
+	got := collectCalls(g.Entry)
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("entry block calls = %v, want [a b c]", got)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry should fall through to exit, got succs %v", g.Entry.Succs)
+	}
+}
+
+func TestBuildIfElse(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(x bool) {
+	a()
+	if x {
+		b()
+	} else {
+		c()
+	}
+	d()
+}
+func a(); func b(); func c(); func d()`, "f")
+	g := Build(body)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The condition block must have two successors (then, else) and no
+	// direct edge to the merge block.
+	cond := g.Entry
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond block succs = %d, want 2", len(cond.Succs))
+	}
+	// Both arms must reach the block containing d().
+	var merge *Block
+	for _, blk := range g.Blocks {
+		for _, c := range collectCalls(blk) {
+			if c == "d" {
+				merge = blk
+			}
+		}
+	}
+	if merge == nil {
+		t.Fatal("no block contains d()")
+	}
+	for _, arm := range cond.Succs {
+		found := false
+		for _, s := range arm.Succs {
+			if s == merge {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("arm %d does not reach merge", arm.Index)
+		}
+	}
+}
+
+func TestBuildIfNoElse(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(x bool) {
+	if x {
+		return
+	}
+	b()
+}
+func b()`, "f")
+	g := Build(body)
+	// cond has an edge around the then-arm straight to the after block.
+	cond := g.Entry
+	foundAfter := false
+	for _, s := range cond.Succs {
+		if len(collectCalls(s)) == 1 && collectCalls(s)[0] == "b" {
+			foundAfter = true
+		}
+	}
+	if !foundAfter {
+		t.Fatal("if without else must edge from cond to after block")
+	}
+}
+
+func TestBuildForLoop(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i == 1 {
+			continue
+		}
+		body()
+	}
+	after()
+}
+func body(); func after()`, "f")
+	g := Build(body)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatal("exit unreachable through loop")
+	}
+	calls := allCalls(g)
+	want := []string{"after", "body"}
+	if strings.Join(calls, ",") != strings.Join(want, ",") {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	// The loop must contain a back edge: some reachable block has a
+	// successor with a smaller index that is not the exit.
+	back := false
+	for blk := range seen {
+		for _, s := range blk.Succs {
+			if s.Index < blk.Index && s != g.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no back edge found in for loop")
+	}
+}
+
+func TestBuildRangeAndSelect(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(xs []int, ch chan int) {
+	for _, x := range xs {
+		_ = x
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}`, "f")
+	g := Build(body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The range and select statements must appear as header nodes.
+	var haveRange, haveSelect bool
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.RangeStmt:
+				haveRange = true
+			case *ast.SelectStmt:
+				haveSelect = true
+			}
+		}
+	}
+	if !haveRange || !haveSelect {
+		t.Fatalf("header nodes missing: range=%v select=%v", haveRange, haveSelect)
+	}
+}
+
+func TestBuildSwitchFallthrough(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+}
+func a(); func b(); func c()`, "f")
+	g := Build(body)
+	// Find the blocks holding a() and b(); a's block must edge to b's.
+	var ablk, bblk *Block
+	for _, blk := range g.Blocks {
+		for _, c := range collectCalls(blk) {
+			switch c {
+			case "a":
+				ablk = blk
+			case "b":
+				bblk = blk
+			}
+		}
+	}
+	if ablk == nil || bblk == nil {
+		t.Fatal("case blocks not found")
+	}
+	linked := false
+	for _, s := range ablk.Succs {
+		if s == bblk {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("fallthrough edge missing between case 1 and case 2")
+	}
+}
+
+// TestForwardMustAnalysis runs a gen/kill fixpoint tracking whether
+// lock() has definitely been called (must-analysis, intersection meet)
+// and checks the state at each return.
+func TestForwardMustAnalysis(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(x bool) {
+	lock()
+	if x {
+		unlock()
+		return
+	}
+	use()
+	unlock()
+}
+func lock(); func unlock(); func use()`, "f")
+	g := Build(body)
+
+	type state struct{ held bool }
+	callName := func(n ast.Node) string {
+		var name string
+		InspectHeader(n, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					name = id.Name
+				}
+			}
+			return true
+		})
+		return name
+	}
+	transfer := func(s state, n ast.Node) state {
+		switch callName(n) {
+		case "lock":
+			return state{held: true}
+		case "unlock":
+			return state{held: false}
+		}
+		return s
+	}
+	meet := func(a, b state) state { return state{held: a.held && b.held} }
+	equal := func(a, b state) bool { return a == b }
+
+	in := Forward(g, state{}, meet, equal, transfer)
+
+	// At every edge into Exit the lock must be released: replay each
+	// predecessor block and check its out-state.
+	for _, blk := range g.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		out := EachNodeState(blk, st, transfer, func(ast.Node, state) {})
+		for _, s := range blk.Succs {
+			if s == g.Exit && out.held {
+				t.Fatalf("block %d reaches exit with lock held", blk.Index)
+			}
+		}
+	}
+
+	// And at use() the lock must be held.
+	for _, blk := range g.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		EachNodeState(blk, st, transfer, func(n ast.Node, before state) {
+			if callName(n) == "use" && !before.held {
+				t.Fatal("use() reached without lock held")
+			}
+		})
+	}
+}
+
+// TestForwardLoopConvergence checks the solver terminates and merges
+// states around a loop whose body conditionally changes the state.
+func TestForwardLoopConvergence(t *testing.T) {
+	_, body := parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		gen()
+	}
+	sink()
+}
+func gen(); func sink()`, "f")
+	g := Build(body)
+
+	// May-analysis: has gen() possibly run? (union meet)
+	transfer := func(s bool, n ast.Node) bool {
+		got := false
+		InspectHeader(n, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "gen" {
+					got = true
+				}
+			}
+			return true
+		})
+		return s || got
+	}
+	in := Forward(g, false, func(a, b bool) bool { return a || b }, func(a, b bool) bool { return a == b }, transfer)
+
+	// The block containing sink() must see may-state true (loop may have
+	// executed) — union meet keeps the generated bit.
+	for _, blk := range g.Blocks {
+		for _, c := range collectCalls(blk) {
+			if c == "sink" {
+				if !in[blk] {
+					t.Fatal("sink block should see gen-may-have-run = true")
+				}
+			}
+		}
+	}
+	if _, ok := in[g.Exit]; !ok {
+		t.Fatal("exit has no in-state; solver did not reach it")
+	}
+}
+
+func TestBuildNilBody(t *testing.T) {
+	g := Build(nil)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("nil body should produce entry -> exit")
+	}
+}
+
+func TestDerived(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+import "context"
+func with(ctx context.Context) context.Context { return ctx }
+func f(ctx context.Context) {
+	a := with(ctx)
+	b, cancel := context.WithCancel(a)
+	defer cancel()
+	c := context.Background()
+	_ = b
+	_ = c
+}`
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	_ = pkg
+
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	ctxObj := info.Defs[fn.Type.Params.List[0].Names[0]]
+	if ctxObj == nil {
+		t.Fatal("ctx param object not found")
+	}
+	derived := Derived(info, fn.Body, []types.Object{ctxObj}, nil)
+
+	lookup := func(name string) types.Object {
+		for id, obj := range info.Defs {
+			if id.Name == name && obj != nil && obj.Parent() != nil {
+				return obj
+			}
+		}
+		return nil
+	}
+	for _, name := range []string{"a", "b"} {
+		obj := lookup(name)
+		if obj == nil {
+			t.Fatalf("object %s not found", name)
+		}
+		if !derived[obj] {
+			t.Errorf("%s should be derived from ctx", name)
+		}
+	}
+	if obj := lookup("c"); obj != nil && derived[obj] {
+		t.Error("c (context.Background) must not be derived")
+	}
+	// cancel derives too (tuple assignment) — that is the documented
+	// over-approximation and is fine for ctxflow, which filters by type.
+}

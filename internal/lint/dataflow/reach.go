@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Derived computes the flow-insensitive closure of value derivation
+// inside body: starting from the seed objects, a variable becomes
+// derived when it is assigned an expression that mentions (uses) an
+// already-derived object and keep accepts the variable. Iterated to
+// fixpoint, so chains like
+//
+//	fctx := obs.WithSpan(ctx, sp)
+//	cctx, cancel := context.WithTimeout(fctx, d)
+//
+// mark fctx and cctx derived from ctx. Flow-insensitivity
+// over-approximates (an assignment later in the function derives the
+// variable everywhere), which is the safe direction for "does the
+// request context reach this call" checks: a value wrongly considered
+// derived can only hide a finding on an exotic reassignment pattern,
+// never invent one.
+func Derived(info *types.Info, body ast.Node, seeds []types.Object, keep func(obj types.Object) bool) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	for _, s := range seeds {
+		if s != nil {
+			derived[s] = true
+		}
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && derived[obj] {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	mark := func(e ast.Expr) bool {
+		obj := lhsObj(e)
+		if obj == nil || derived[obj] || (keep != nil && !keep(obj)) {
+			return false
+		}
+		derived[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if mentions(rhs) && mark(n.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else if len(n.Rhs) == 1 && mentions(n.Rhs[0]) {
+					// Tuple assignment: every eligible LHS derives.
+					for _, lhs := range n.Lhs {
+						if mark(lhs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, rhs := range n.Values {
+					if !mentions(rhs) {
+						continue
+					}
+					for _, name := range n.Names {
+						if mark(name) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}

@@ -1,0 +1,13 @@
+package frozenmut_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/frozenmut"
+)
+
+func TestFrozenmut(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{frozenmut.Analyzer}, "a", "b")
+}

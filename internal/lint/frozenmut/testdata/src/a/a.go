@@ -1,0 +1,43 @@
+// Package a declares a frozen type and exercises frozenmut inside the
+// declaring package: construction is allowed, mutation is not.
+package a
+
+// Frozen is an immutable container once built.
+//
+//pdnlint:frozen
+type Frozen struct {
+	Vals []int
+	n    int
+}
+
+// New is the builder: writes through a freshly constructed value are
+// construction, not mutation.
+func New(vals []int) *Frozen {
+	f := &Frozen{}
+	f.Vals = append([]int(nil), vals...)
+	f.n = len(vals)
+	return f
+}
+
+// Len reads are always fine.
+func (f *Frozen) Len() int { return f.n }
+
+// View returns an internal slice; callers must treat it as read-only.
+func (f *Frozen) View() []int { return f.Vals }
+
+// mutate writes a field of a value it did not construct.
+func mutate(f *Frozen) {
+	f.n = 3 // want `write to field n of frozen type Frozen; values are immutable after construction`
+}
+
+// mutateElem writes an element through a frozen field.
+func mutateElem(f *Frozen) {
+	f.Vals[0] = 1 // want `element write through field Vals of frozen type Frozen`
+}
+
+// rebuild constructs via new(): still fresh, still clean.
+func rebuild() *Frozen {
+	f := new(Frozen)
+	f.n = 0
+	return f
+}

@@ -1,0 +1,51 @@
+// Package b imports the frozen type: the FrozenFact must travel across
+// the package boundary, and retention of internal slices is checked
+// only outside the declaring package.
+package b
+
+import "a"
+
+type holder struct {
+	vals []int
+}
+
+var global []int
+
+// mutate writes a field of an imported frozen value.
+func mutate(f *a.Frozen) {
+	f.Vals = nil // want `write to field Vals of frozen type Frozen; values are immutable after construction`
+}
+
+// mutateView writes an element through a slice view of the internals.
+func mutateView(f *a.Frozen) {
+	s := f.View()
+	s[0] = 9 // want `element write through a slice view of frozen type Frozen \(s aliases its internals\)`
+}
+
+// retain aliases internals into longer-lived homes.
+func retain(f *a.Frozen, h *holder) {
+	h.vals = f.View() // want `retaining an internal slice of frozen type Frozen outside its package; copy it instead of aliasing`
+	global = f.View() // want `retaining an internal slice of frozen type Frozen in package variable global; copy it instead of aliasing`
+}
+
+// readOnly holds a view in a local and only reads: clean.
+func readOnly(f *a.Frozen) int {
+	s := f.View()
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+// fresh constructs its own value; populating it is construction.
+func fresh() *a.Frozen {
+	f := &a.Frozen{}
+	f.Vals = []int{1, 2}
+	return f
+}
+
+// waived documents a deliberate exception.
+func waived(f *a.Frozen) {
+	//pdnlint:ignore frozenmut scratch copy is discarded before publication
+	f.Vals = nil
+}

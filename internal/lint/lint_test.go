@@ -1,16 +1,22 @@
 package lint_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"pdn3d/internal/lint"
+	"pdn3d/internal/lint/baseline"
+	"pdn3d/internal/lint/load"
 )
 
 func TestSuite(t *testing.T) {
 	suite := lint.Suite()
-	if len(suite) != 6 {
-		t.Fatalf("suite has %d analyzers, want 6", len(suite))
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d analyzers, want 10", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -23,6 +29,11 @@ func TestSuite(t *testing.T) {
 		seen[a.Name] = true
 		if a.Run == nil && a.Name != "unusedsuppress" {
 			t.Errorf("analyzer %q has no Run and is not runner-implemented", a.Name)
+		}
+	}
+	for _, name := range []string{"ctxflow", "lockbalance", "frozenmut", "obscontract"} {
+		if !seen[name] {
+			t.Errorf("suite is missing %s", name)
 		}
 	}
 }
@@ -62,5 +73,197 @@ func TestFindingString(t *testing.T) {
 		if !strings.Contains(s, ".go:") || !strings.HasSuffix(s, "("+f.Analyzer+")") {
 			t.Errorf("malformed finding rendering: %q", s)
 		}
+	}
+}
+
+// TestSortFindings pins the deterministic report order: file, then
+// line, then column, then analyzer, then message. Two analyzers
+// reporting the same position must tie-break alphabetically, never by
+// execution order.
+func TestSortFindings(t *testing.T) {
+	mk := func(analyzer, file string, line, col int, msg string) lint.Finding {
+		return lint.Finding{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line, Column: col}, Message: msg}
+	}
+	findings := []lint.Finding{
+		mk("walltime", "b.go", 1, 1, "m"),
+		mk("walltime", "a.go", 9, 2, "m"),
+		mk("floateq", "a.go", 9, 2, "m"),
+		mk("floateq", "a.go", 9, 1, "m"),
+		mk("floateq", "a.go", 2, 7, "m"),
+		mk("floateq", "a.go", 9, 2, "a message sorting first"),
+	}
+	lint.SortFindings(findings)
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"a.go:2:7: m (floateq)",
+		"a.go:9:1: m (floateq)",
+		"a.go:9:2: a message sorting first (floateq)",
+		"a.go:9:2: m (floateq)",
+		"a.go:9:2: m (walltime)",
+		"b.go:1:1: m (walltime)",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("sorted order:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// loadSev loads the fixture package with one walltime and one floateq
+// violation at known positions.
+func loadSev(t *testing.T) *load.Program {
+	t.Helper()
+	prog, err := load.LoadDir(filepath.Join("testdata", "src"), "sev")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return prog
+}
+
+func analyzers(t *testing.T, findings []lint.Finding) []string {
+	t.Helper()
+	var out []string
+	for _, f := range findings {
+		out = append(out, f.Analyzer)
+	}
+	return out
+}
+
+func TestSeverityOverrides(t *testing.T) {
+	prog := loadSev(t)
+
+	findings, err := lint.RunWith(prog, lint.Suite(), lint.Options{})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if got := analyzers(t, findings); strings.Join(got, ",") != "walltime,floateq" {
+		t.Fatalf("default run found %v, want [walltime floateq]", got)
+	}
+	if lint.ErrorCount(findings) != 2 {
+		t.Errorf("ErrorCount = %d, want 2", lint.ErrorCount(findings))
+	}
+
+	warned, err := lint.RunWith(prog, lint.Suite(), lint.Options{
+		Severity: map[string]lint.Severity{"walltime": lint.SeverityWarn},
+	})
+	if err != nil {
+		t.Fatalf("RunWith warn: %v", err)
+	}
+	if len(warned) != 2 {
+		t.Fatalf("warn override dropped findings: %v", warned)
+	}
+	if warned[0].Severity != lint.SeverityWarn || warned[1].Severity != lint.SeverityError {
+		t.Errorf("severities = %s, %s; want warn, error", warned[0].Severity, warned[1].Severity)
+	}
+	if lint.ErrorCount(warned) != 1 {
+		t.Errorf("ErrorCount with one warn = %d, want 1", lint.ErrorCount(warned))
+	}
+
+	off, err := lint.RunWith(prog, lint.Suite(), lint.Options{
+		Severity: map[string]lint.Severity{"walltime": lint.SeverityOff},
+	})
+	if err != nil {
+		t.Fatalf("RunWith off: %v", err)
+	}
+	if got := analyzers(t, off); strings.Join(got, ",") != "floateq" {
+		t.Errorf("off override left %v, want [floateq]", got)
+	}
+
+	if _, err := lint.RunWith(prog, lint.Suite(), lint.Options{
+		Severity: map[string]lint.Severity{"nosuch": lint.SeverityWarn},
+	}); err == nil {
+		t.Error("severity override for an unknown analyzer was accepted")
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	prog := loadSev(t)
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := lint.RunWith(prog, lint.Suite(), lint.Options{})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("fixture produced %d findings, want 2", len(all))
+	}
+
+	// Baseline the walltime finding plus one stale entry.
+	text := "# test baseline\n" +
+		"walltime\t" + lint.RelPath(root, all[0].Pos.Filename) + "\t" + all[0].Message + "\n" +
+		"walltime\tsev/other.go\tnever matches\n"
+	set, err := baseline.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	findings, err := lint.RunWith(prog, lint.Suite(), lint.Options{
+		Baseline: set, BaselinePath: "lint.baseline", Root: root,
+	})
+	if err != nil {
+		t.Fatalf("RunWith baseline: %v", err)
+	}
+	if got := analyzers(t, findings); strings.Join(got, ",") != "floateq,baseline" {
+		t.Fatalf("baselined run found %v, want [floateq baseline]", got)
+	}
+	stale := findings[1]
+	if stale.Pos.Filename != "lint.baseline" || stale.Pos.Line != 3 {
+		t.Errorf("stale entry reported at %s:%d, want lint.baseline:3", stale.Pos.Filename, stale.Pos.Line)
+	}
+	if !strings.Contains(stale.Message, "stale baseline entry") {
+		t.Errorf("stale message = %q", stale.Message)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	prog := loadSev(t)
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.RunWith(prog, lint.Suite(), lint.Options{
+		Severity: map[string]lint.Severity{"walltime": lint.SeverityWarn},
+	})
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, findings, root); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d findings, want 2", len(decoded))
+	}
+	if decoded[0].Analyzer != "walltime" || decoded[0].Severity != "warn" {
+		t.Errorf("first finding = %+v, want a walltime warn", decoded[0])
+	}
+	if decoded[0].File != "sev/sev.go" {
+		t.Errorf("file = %q, want the root-relative slash form sev/sev.go", decoded[0].File)
+	}
+	if decoded[0].Line == 0 || decoded[0].Col == 0 || decoded[0].Message == "" {
+		t.Errorf("missing position or message: %+v", decoded[0])
+	}
+
+	buf.Reset()
+	if err := lint.WriteJSON(&buf, nil, root); err != nil {
+		t.Fatalf("WriteJSON empty: %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty run rendered %q, want []", buf.String())
 	}
 }

@@ -50,6 +50,40 @@ type Program struct {
 	Packages []*Package
 }
 
+// DependencyOrder returns the program's packages sorted so every
+// package appears after all program packages it imports (directly or
+// transitively). Analyzer runners that thread facts between packages
+// depend on this: a fact exported while analyzing a package must exist
+// before any importer's pass asks for it. External test packages
+// ("<path>_test") order after the packages they import, including their
+// own package under test. Ties keep the original Packages order, so the
+// result is deterministic.
+func (p *Program) DependencyOrder() []*Package {
+	byTypes := make(map[*types.Package]*Package, len(p.Packages))
+	for _, pkg := range p.Packages {
+		byTypes[pkg.Types] = pkg
+	}
+	seen := make(map[*Package]bool, len(p.Packages))
+	out := make([]*Package, 0, len(p.Packages))
+	var visit func(*Package)
+	visit = func(pkg *Package) {
+		if seen[pkg] {
+			return
+		}
+		seen[pkg] = true
+		for _, imp := range pkg.Types.Imports() {
+			if dep := byTypes[imp]; dep != nil {
+				visit(dep)
+			}
+		}
+		out = append(out, pkg)
+	}
+	for _, pkg := range p.Packages {
+		visit(pkg)
+	}
+	return out
+}
+
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
 	ImportPath   string

@@ -60,6 +60,55 @@ func TestLoadXTest(t *testing.T) {
 	}
 }
 
+// TestLoadXTestTypeChecked is the regression test for external test
+// packages as analysis roots: speckey and rmesh both keep xtest files,
+// and the `<path>_test` roots must come back fully type-checked with
+// source retained (analyzers parse directives out of Src) — not as the
+// comment-stripped skeletons dependency packages get.
+func TestLoadXTestTypeChecked(t *testing.T) {
+	prog, err := load.Load("../../..", "./internal/speckey", "./internal/rmesh")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	roots := map[string]bool{}
+	for _, p := range prog.Packages {
+		roots[p.ImportPath] = true
+	}
+	for _, want := range []string{
+		"pdn3d/internal/speckey", "pdn3d/internal/speckey_test",
+		"pdn3d/internal/rmesh", "pdn3d/internal/rmesh_test",
+	} {
+		if !roots[want] {
+			t.Errorf("missing root %s (have %v)", want, roots)
+		}
+	}
+	for _, p := range prog.Packages {
+		if !strings.HasSuffix(p.ImportPath, "_test") {
+			continue
+		}
+		if p.Types == nil || p.Info == nil || len(p.Info.Uses) == 0 {
+			t.Errorf("%s: xtest package not type-checked", p.ImportPath)
+			continue
+		}
+		haveComments := false
+		for _, f := range p.Files {
+			name := prog.Fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "_test.go") {
+				t.Errorf("%s: non-test file %s in xtest package", p.ImportPath, name)
+			}
+			if _, ok := p.Src[name]; !ok {
+				t.Errorf("%s: no source retained for %s", p.ImportPath, name)
+			}
+			if len(f.Comments) > 0 {
+				haveComments = true
+			}
+		}
+		if !haveComments {
+			t.Errorf("%s: comments stripped from every root file (ParseComments lost)", p.ImportPath)
+		}
+	}
+}
+
 // TestLoadBadPattern surfaces go list failures as errors.
 func TestLoadBadPattern(t *testing.T) {
 	if _, err := load.Load("../../..", "./does/not/exist"); err == nil {

@@ -1,0 +1,511 @@
+// Package lockbalance checks mutex discipline with an intra-procedural
+// must/may dataflow over each function's CFG:
+//
+//   - every sync.Mutex/RWMutex Lock (and RLock) is released on every
+//     return path, either by a matching Unlock on the path or by a
+//     deferred Unlock registered before the return,
+//   - no Unlock without a lock possibly held, and no Lock of a mutex
+//     already definitely held (self-deadlock),
+//   - no call to a blocking operation — a channel send/receive, a
+//     select without default, sync.WaitGroup.Wait, sync.Cond.Wait,
+//     time.Sleep, or any function known to block — while a mutex is
+//     definitely held. "Known to block" travels as a fact on the
+//     function object, computed transitively: par.Sweep blocks because
+//     it waits on a channel, a solver entry that fans out through par
+//     blocks because Sweep does, and a serve handler that called either
+//     under a cache mutex would hold up every other request.
+//
+// Locks are named by the receiver expression ("r.mu", "g.mu"), so the
+// analysis is syntactic about identity and sound only within one
+// function — which matches how this codebase uses mutexes: acquire and
+// release in the same function or via defer. Read locks are tracked
+// separately ("r.mu[r]"). Test files are exempt (tests provoke
+// contention on purpose).
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/dataflow"
+)
+
+// Analyzer is the lockbalance check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "checks Lock/Unlock pairing on every return path, defer discipline, " +
+		"and that no blocking operation (channel op, select, WaitGroup.Wait, " +
+		"known-blocking callee) runs while a mutex is held",
+	Run:       run,
+	UsesFacts: true,
+}
+
+// BlockingFact marks a function that can block: it performs a channel
+// operation, waits on a WaitGroup/Cond, sleeps, or calls a function
+// that does.
+type BlockingFact struct{}
+
+// AFact implements analysis.Fact.
+func (*BlockingFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	exportBlocking(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFilename(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exportBlocking computes which of this package's functions block,
+// iterating to a fixpoint so same-package call chains converge, and
+// exports a BlockingFact for each. Facts for imported packages already
+// exist because the runner analyzes packages in dependency order.
+func exportBlocking(pass *analysis.Pass) {
+	type decl struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, decl{obj, fn.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			var fact BlockingFact
+			if pass.ImportObjectFact(d.obj, &fact) {
+				continue
+			}
+			if bodyBlocks(pass, d.body) {
+				pass.ExportObjectFact(d.obj, &BlockingFact{})
+				changed = true
+			}
+		}
+	}
+}
+
+// bodyBlocks reports whether executing body can block the calling
+// goroutine. Function literals and go statements spawn or defer work
+// elsewhere and do not block this body directly; a select with a
+// default clause is a non-blocking poll, including its communication
+// expressions.
+func bodyBlocks(pass *analysis.Pass, body ast.Node) bool {
+	blocks := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if blocks || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if selectHasDefault(n) {
+				// Poll: comm clauses cannot block, but their bodies
+				// still run.
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							ast.Inspect(s, walk)
+						}
+					}
+				}
+				return false
+			}
+			blocks = true
+			return false
+		case *ast.SendStmt:
+			blocks = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocks = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocks = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if callBlocks(pass, n) {
+				blocks = true
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return blocks
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// callBlocks reports whether a call is to a known-blocking function:
+// sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep, or any function
+// carrying a BlockingFact.
+func callBlocks(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		return fn.Name() == "Wait" // WaitGroup.Wait, Cond.Wait
+	}
+	var fact BlockingFact
+	return pass.ImportObjectFact(fn, &fact)
+}
+
+// lockOp classifies one sync lock/unlock call.
+type lockOp struct {
+	key     string // receiver expression + "[r]" for read locks
+	acquire bool
+	pos     token.Pos
+}
+
+// lockCall resolves call as a sync.Mutex/RWMutex lock operation.
+func lockCall(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return lockOp{key: key, acquire: true, pos: call.Pos()}, true
+	case "Unlock":
+		return lockOp{key: key, acquire: false, pos: call.Pos()}, true
+	case "RLock":
+		return lockOp{key: key + "[r]", acquire: true, pos: call.Pos()}, true
+	case "RUnlock":
+		return lockOp{key: key + "[r]", acquire: false, pos: call.Pos()}, true
+	}
+	return lockOp{}, false
+}
+
+// lockState is the dataflow state: must (locks definitely held, with
+// the earliest acquisition position for reporting), may (locks possibly
+// held), and deferred (unlocks definitely registered via defer).
+type lockState struct {
+	must     map[string]token.Pos
+	may      map[string]bool
+	deferred map[string]bool
+}
+
+func (s lockState) clone() lockState {
+	out := lockState{
+		must:     make(map[string]token.Pos, len(s.must)),
+		may:      make(map[string]bool, len(s.may)),
+		deferred: make(map[string]bool, len(s.deferred)),
+	}
+	for k, v := range s.must {
+		out.must[k] = v
+	}
+	for k := range s.may {
+		out.may[k] = true
+	}
+	for k := range s.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+func meetLocks(a, b lockState) lockState {
+	out := lockState{must: map[string]token.Pos{}, may: map[string]bool{}, deferred: map[string]bool{}}
+	for k, p := range a.must {
+		if q, ok := b.must[k]; ok {
+			if q < p {
+				p = q
+			}
+			out.must[k] = p
+		}
+	}
+	for k := range a.may {
+		out.may[k] = true
+	}
+	for k := range b.may {
+		out.may[k] = true
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+func equalLocks(a, b lockState) bool {
+	if len(a.must) != len(b.must) || len(a.may) != len(b.may) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k := range a.must {
+		if _, ok := b.must[k]; !ok {
+			return false
+		}
+	}
+	for k := range a.may {
+		if !b.may[k] {
+			return false
+		}
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeOps extracts the lock operations and deferred unlocks one CFG
+// node performs, in order. Function literals and go statements run on
+// other goroutines (or later); their lock ops are not this node's.
+func nodeOps(info *types.Info, n ast.Node) (ops []lockOp, defUnlocks []string, defLockPos map[string]token.Pos) {
+	for _, h := range dataflow.HeaderOnly(n) {
+		if d, ok := h.(*ast.DeferStmt); ok {
+			if op, ok := lockCall(info, d.Call); ok {
+				if op.acquire {
+					// defer mu.Lock() is almost certainly a typo'd
+					// unlock; surface it as an acquisition so the
+					// held-at-return check fires.
+					if defLockPos == nil {
+						defLockPos = map[string]token.Pos{}
+					}
+					defLockPos[op.key] = op.pos
+				} else {
+					defUnlocks = append(defUnlocks, op.key)
+				}
+			}
+			continue
+		}
+		ast.Inspect(h, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if op, ok := lockCall(info, m); ok {
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	return ops, defUnlocks, defLockPos
+}
+
+// checkFunc runs the lock dataflow over one function body.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	g := dataflow.Build(body)
+	comms := commStmts(body)
+
+	transfer := func(s lockState, n ast.Node) lockState {
+		ops, defUnlocks, defLocks := nodeOps(info, n)
+		if len(ops) == 0 && len(defUnlocks) == 0 && len(defLocks) == 0 {
+			return s
+		}
+		out := s.clone()
+		for _, op := range ops {
+			if op.acquire {
+				out.must[op.key] = op.pos
+				out.may[op.key] = true
+			} else {
+				delete(out.must, op.key)
+				delete(out.may, op.key)
+			}
+		}
+		for _, k := range defUnlocks {
+			out.deferred[k] = true
+		}
+		for k, p := range defLocks {
+			out.must[k] = p
+			out.may[k] = true
+		}
+		return out
+	}
+
+	entry := lockState{must: map[string]token.Pos{}, may: map[string]bool{}, deferred: map[string]bool{}}
+	in := dataflow.Forward(g, entry, meetLocks, equalLocks, transfer)
+
+	leaked := map[string]token.Pos{}
+	for _, blk := range g.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		out := dataflow.EachNodeState(blk, st, transfer, func(n ast.Node, before lockState) {
+			reportAtNode(pass, n, before, comms)
+		})
+		for _, succ := range blk.Succs {
+			if succ != g.Exit {
+				continue
+			}
+			for k, p := range out.must {
+				if out.deferred[k] {
+					continue
+				}
+				if prev, dup := leaked[k]; !dup || p < prev {
+					leaked[k] = p
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(leaked))
+	for k := range leaked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pass.Reportf(leaked[k], "%s is locked here but not unlocked on every return path (add a defer or unlock before returning)", displayKey(k))
+	}
+}
+
+// commStmts collects the comm statements of every select clause in
+// body. They appear as their own CFG nodes, but the blocking semantics
+// belong to the enclosing select (whose header Build already places as
+// a node) — a chosen comm op is ready by definition, so it must not be
+// double-counted as an independent blocking point.
+func commStmts(body ast.Node) map[ast.Node]bool {
+	comms := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return comms
+}
+
+// reportAtNode emits the point diagnostics for one CFG node given the
+// state in force immediately before it.
+func reportAtNode(pass *analysis.Pass, n ast.Node, before lockState, comms map[ast.Node]bool) {
+	info := pass.TypesInfo
+	ops, _, _ := nodeOps(info, n)
+	held := before.clone()
+	for _, op := range ops {
+		if op.acquire {
+			if _, dup := held.must[op.key]; dup {
+				pass.Reportf(op.pos, "%s is locked while already held; this deadlocks", displayKey(op.key))
+			}
+			held.must[op.key] = op.pos
+			held.may[op.key] = true
+		} else {
+			if !held.may[op.key] {
+				pass.Reportf(op.pos, "%s is unlocked but cannot be held here", displayKey(op.key))
+			}
+			delete(held.must, op.key)
+			delete(held.may, op.key)
+		}
+	}
+	if len(before.must) == 0 || comms[n] {
+		return
+	}
+	if pos, blocking := blockingPoint(pass, n); blocking {
+		keys := make([]string, 0, len(before.must))
+		for k := range before.must {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pass.Reportf(pos, "blocking operation while %s is held; release the lock first or move the blocking work out", displayKey(k))
+		}
+	}
+}
+
+// blockingPoint reports whether node n itself blocks, and where.
+func blockingPoint(pass *analysis.Pass, n ast.Node) (token.Pos, bool) {
+	switch s := n.(type) {
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			return s.Pos(), true
+		}
+		return token.NoPos, false
+	case *ast.RangeStmt:
+		if tv, ok := pass.TypesInfo.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return s.Pos(), true
+			}
+		}
+		return token.NoPos, false
+	}
+	pos := token.NoPos
+	for _, h := range dataflow.HeaderOnly(n) {
+		ast.Inspect(h, func(m ast.Node) bool {
+			if pos != token.NoPos {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.SendStmt:
+				pos = m.Pos()
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					pos = m.Pos()
+					return false
+				}
+			case *ast.CallExpr:
+				if callBlocks(pass, m) {
+					pos = m.Pos()
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return pos, pos != token.NoPos
+}
+
+// displayKey renders a lock key for humans ("r.mu", "r.mu (read)").
+func displayKey(k string) string {
+	if len(k) > 3 && k[len(k)-3:] == "[r]" {
+		return k[:len(k)-3] + " (read lock)"
+	}
+	return k
+}

@@ -1,0 +1,13 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{lockbalance.Analyzer}, "a", "b")
+}

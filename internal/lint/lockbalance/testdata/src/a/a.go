@@ -1,0 +1,114 @@
+// Package a exercises lockbalance: must-held tracking of sync.Mutex /
+// sync.RWMutex pairs plus blocking operations under a held lock.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// leak forgets the unlock on the early return.
+func (s *S) leak(x bool) {
+	s.mu.Lock() // want `s\.mu is locked here but not unlocked on every return path`
+	if x {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// balanced releases on both paths.
+func (s *S) balanced(x bool) {
+	s.mu.Lock()
+	if x {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// deferred is the idiomatic clean shape.
+func (s *S) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// double re-acquires a non-reentrant mutex.
+func (s *S) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu is locked while already held; this deadlocks`
+	s.mu.Unlock()
+}
+
+// spurious releases a lock that cannot be held.
+func (s *S) spurious() {
+	s.mu.Unlock() // want `s\.mu is unlocked but cannot be held here`
+}
+
+// blockingHeld parks on a channel receive with the mutex held.
+func (s *S) blockingHeld(ch chan int) {
+	s.mu.Lock()
+	<-ch // want `blocking operation while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// blockingFree moves the channel send outside the critical section.
+func (s *S) blockingFree(ch chan int) {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	ch <- v
+}
+
+// nonBlockingSelect is clean: a select with a default never parks.
+func (s *S) nonBlockingSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+}
+
+type R struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// readLeak tracks read locks under their own key.
+func (r *R) readLeak(k string) int {
+	r.mu.RLock() // want `r\.mu \(read lock\) is locked here but not unlocked on every return path`
+	return r.m[k]
+}
+
+// readBalanced is the clean RLock shape.
+func (r *R) readBalanced(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Wait is an exported helper that parks; callers in other packages
+// learn this through the exported BlockingFact.
+func Wait(ch chan struct{}) {
+	<-ch
+}
+
+// transitive reaches a blocking operation through a same-package call.
+func (s *S) transitive(ch chan struct{}) {
+	s.mu.Lock()
+	Wait(ch) // want `blocking operation while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// waived documents an intentional park under the lock.
+func (s *S) waived(ch chan int) {
+	s.mu.Lock()
+	//pdnlint:ignore lockbalance startup handshake holds the init lock by design
+	<-ch
+	s.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+// Test files are exempt: tests may hold locks across assertions.
+package a
+
+import "testing"
+
+func TestExempt(t *testing.T) {
+	var s S
+	s.mu.Lock()
+	_ = s.n
+}

@@ -1,0 +1,27 @@
+// Package b exercises the cross-package BlockingFact: a.Wait parks on a
+// channel, and that fact must travel to importing packages.
+package b
+
+import (
+	"sync"
+
+	"a"
+)
+
+type T struct {
+	mu sync.Mutex
+}
+
+// bad calls a blocking function from package a while holding the lock.
+func (t *T) bad(ch chan struct{}) {
+	t.mu.Lock()
+	a.Wait(ch) // want `blocking operation while t\.mu is held`
+	t.mu.Unlock()
+}
+
+// good releases before parking.
+func (t *T) good(ch chan struct{}) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	a.Wait(ch)
+}

@@ -1,0 +1,13 @@
+package obscontract_test
+
+import (
+	"testing"
+
+	"pdn3d/internal/lint/analysis"
+	"pdn3d/internal/lint/analysistest"
+	"pdn3d/internal/lint/obscontract"
+)
+
+func TestObscontract(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{obscontract.Analyzer}, "internal/obs", "a", "b")
+}

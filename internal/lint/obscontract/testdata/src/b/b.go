@@ -1,0 +1,16 @@
+// Package b exercises the cross-package MetricsFact: kind conflicts
+// with package a surface here at lint time instead of panicking at
+// runtime.
+package b
+
+import (
+	"internal/obs"
+
+	"a"
+)
+
+func register(r *obs.Registry) {
+	a.Register(r)
+	r.Gauge("jobs.done")    // want `metric "jobs.done" already registered as a counter in a; registering it as a gauge would panic at runtime`
+	r.Counter("serve.hits") // same kind as in a: allowed
+}

@@ -5,13 +5,15 @@
 //
 //	//pdnlint:ignore <analyzer> <reason>
 //
-// and suppresses diagnostics of the named analyzer on one target line:
-// the directive's own line when the comment trails code, or the next
-// line when the comment stands alone. The reason is mandatory — a
-// suppression with no justification is itself a finding. Directives that
-// suppress nothing (stale after a refactor, or naming an unknown
-// analyzer) are reported by the unusedsuppress check so dead waivers
-// cannot accumulate.
+// and suppresses diagnostics of the named analyzer on a target range:
+// the directive's own line when the comment trails code, or — when the
+// comment stands alone — the statement or declaration beginning on the
+// next line, however many lines it spans (so a directive above a
+// multi-line call or composite literal waives diagnostics anywhere
+// inside it). The reason is mandatory — a suppression with no
+// justification is itself a finding. Directives that suppress nothing
+// (stale after a refactor, or naming an unknown analyzer) are reported
+// by the unusedsuppress check so dead waivers cannot accumulate.
 package suppress
 
 import (
@@ -35,8 +37,13 @@ type Directive struct {
 	Reason string
 	// File is the file name the directive appears in.
 	File string
-	// TargetLine is the line whose diagnostics the directive waives.
+	// TargetLine is the first line whose diagnostics the directive
+	// waives.
 	TargetLine int
+	// TargetEnd is the last waived line, inclusive. It equals TargetLine
+	// except for standalone directives preceding a multi-line statement
+	// or declaration, where it is the line the statement ends on.
+	TargetEnd int
 	// Used records whether the directive suppressed at least one
 	// diagnostic in this run.
 	Used bool
@@ -77,8 +84,10 @@ func ParseFile(fset *token.FileSet, f *ast.File, src []byte) []*Directive {
 			if len(fields) >= 2 {
 				d.Reason = strings.Join(fields[1:], " ")
 			}
+			d.TargetEnd = d.TargetLine
 			if standsAlone(lines, pos.Line, pos.Column) {
 				d.TargetLine = pos.Line + 1
+				d.TargetEnd = statementEnd(fset, f, d.TargetLine)
 			}
 			out = append(out, d)
 		}
@@ -99,12 +108,42 @@ func standsAlone(lines []string, line, col int) bool {
 	return strings.TrimSpace(prefix) == ""
 }
 
+// statementEnd returns the last line of the outermost statement,
+// declaration, or spec that starts on the given line, or line itself if
+// none does. Pre-order traversal guarantees the first node whose start
+// line matches is the outermost one, so a directive above
+//
+//	reg.Counter(
+//		"bad name",
+//	)
+//
+// covers all three lines.
+func statementEnd(fset *token.FileSet, f *ast.File, line int) int {
+	end := line
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || end > line {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec:
+			if fset.Position(n.Pos()).Line == line {
+				if e := fset.Position(n.End()).Line; e > end {
+					end = e
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return end
+}
+
 // Match finds the directive (if any) that suppresses a diagnostic of the
 // named analyzer at file:line, marking it used. Malformed directives
 // (missing reason) never match.
 func Match(dirs []*Directive, analyzer, file string, line int) *Directive {
 	for _, d := range dirs {
-		if d.Analyzer == analyzer && d.Reason != "" && d.File == file && d.TargetLine == line {
+		if d.Analyzer == analyzer && d.Reason != "" && d.File == file && line >= d.TargetLine && line <= d.TargetEnd {
 			d.Used = true
 			return d
 		}

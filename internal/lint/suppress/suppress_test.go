@@ -83,3 +83,49 @@ func TestMatch(t *testing.T) {
 		t.Error("malformed directive (no reason) suppressed a diagnostic")
 	}
 }
+
+const multiSrc = `package p
+
+func a(xs []float64) bool {
+	//pdnlint:ignore floateq the tolerance ladder is compared exactly by design
+	eq := xs[0] == 0.5 ||
+		xs[1] == 0.25 ||
+		xs[2] == 0.125
+	return eq
+}
+
+func b() int {
+	x := 1 //pdnlint:ignore walltime trailing form covers one line only
+	return x
+}
+`
+
+// TestMatchMultiLineStatement checks that a standalone directive covers
+// the whole statement that starts on the next line, not just its first
+// line: analyzers report at the operand's position, which for a wrapped
+// expression can be lines below the statement opener.
+func TestMatchMultiLineStatement(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", multiSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dirs := suppress.ParseFile(fset, f, []byte(multiSrc))
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	if d := dirs[0]; d.TargetLine != 5 || d.TargetEnd != 7 {
+		t.Fatalf("standalone directive covers %d..%d, want 5..7 (the full statement)", d.TargetLine, d.TargetEnd)
+	}
+	for line := 5; line <= 7; line++ {
+		if suppress.Match(dirs, "floateq", "p.go", line) == nil {
+			t.Errorf("line %d of the wrapped statement is not covered", line)
+		}
+	}
+	if suppress.Match(dirs, "floateq", "p.go", 8) != nil {
+		t.Error("directive leaked past the end of the statement")
+	}
+	if d := dirs[1]; d.TargetLine != 12 || d.TargetEnd != 12 {
+		t.Errorf("trailing directive covers %d..%d, want exactly its own line 12", d.TargetLine, d.TargetEnd)
+	}
+}

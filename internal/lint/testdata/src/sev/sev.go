@@ -1,0 +1,13 @@
+// Package sev is a runner fixture carrying one walltime and one floateq
+// violation at known positions, used by the lint package's own tests to
+// exercise severity overrides, baselines, and JSON output.
+package sev
+
+import "time"
+
+// Drift reads the wall clock and compares floats exactly.
+func Drift(a, b float64) bool {
+	t := time.Now()
+	_ = t
+	return a == b
+}

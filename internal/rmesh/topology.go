@@ -26,6 +26,8 @@ import (
 // value fields of speckey.Values); NewModel stamps such a spec's values
 // into a fresh matrix over the shared pattern. A Topology is safe for
 // concurrent use.
+//
+//pdnlint:frozen
 type Topology struct {
 	key     string
 	pattern *sparse.Pattern

@@ -87,6 +87,8 @@ func (b *Builder) Compress() *CSR {
 // duplicate coordinates. A Pattern is immutable and safe for concurrent
 // use; it can Scatter any number of raw stamp streams that follow the same
 // stamping order as the builder it was frozen from.
+//
+//pdnlint:frozen
 type Pattern struct {
 	n      int
 	rowPtr []int32

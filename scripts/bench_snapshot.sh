@@ -56,3 +56,19 @@ bench_json "./internal/solve ./internal/rmesh" \
   BENCH_solver.json
 
 bench_json "./internal/serve" 'BenchmarkAnalyze' BENCH_serve.json
+
+# pdnlint wall time: the lint suite gates every CI run, so its latency
+# is a tracked perf surface like the solver and serving suites. Build
+# once so the snapshot times analysis, not compilation.
+lint_bin="$(mktemp -d)/pdnlint"
+go build -o "$lint_bin" ./cmd/pdnlint
+lint_out="$(mktemp)"
+lint_status=0
+lint_start=$(date +%s%N)
+"$lint_bin" -json ./... >"$lint_out" || lint_status=$?
+lint_end=$(date +%s%N)
+lint_ms=$(( (lint_end - lint_start) / 1000000 ))
+lint_findings=$(grep -c '"analyzer"' "$lint_out" || true)
+printf '{\n  "target": "pdnlint ./...",\n  "wall_ms": %s,\n  "findings": %s,\n  "exit_status": %s\n}\n' \
+  "$lint_ms" "$lint_findings" "$lint_status" >BENCH_lint.json
+echo "wrote BENCH_lint.json (pdnlint ./... in ${lint_ms} ms, ${lint_findings} findings)"
