@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+//go:embed corpus/*.json
+var corpusFS embed.FS
+
+// Canonical returns the committed benchmark corpus: one entry per
+// (family, escalation level), every family anchored to a paper benchmark.
+// Entries are small enough that the dense Cholesky oracle covers all of
+// them in `go test` — the committed corpus is the regression floor, and
+// Sized provides the on-the-fly large meshes above it. The serialized
+// goldens under corpus/ must match this list byte for byte (pinned by
+// TestCorpusGoldensMatchCanonical; regenerate with `pdnbench -regen`).
+func Canonical() []*Spec {
+	return []*Spec{
+		// grid family: escalating mesh resolution on the off-chip stack.
+		{Name: "grid0-ddr3", Base: "ddr3-off", Pitch: 1.0, Seed: 1},
+		{Name: "grid1-ddr3", Base: "ddr3-off", Pitch: 0.8, Seed: 2},
+		{Name: "grid2-ddr3", Base: "ddr3-off", Pitch: 0.6, Seed: 3},
+		// tsv family: placement styles and counts on the HMC stack.
+		{Name: "tsv0-hmc-center", Base: "hmc", Pitch: 1.0, TSVStyle: "C", TSVCount: 64, Seed: 4},
+		{Name: "tsv1-hmc-edge", Base: "hmc", Pitch: 1.0, TSVStyle: "E", TSVCount: 384, Seed: 5},
+		{Name: "tsv2-hmc-dist", Base: "hmc", Pitch: 1.0, TSVStyle: "D", TSVCount: 384, Seed: 6},
+		// fail family: seeded TSV failure patterns.
+		{Name: "fail0-ddr3", Base: "ddr3-off", Pitch: 1.0, FailRate: 0.1, Seed: 7},
+		{Name: "fail1-ddr3", Base: "ddr3-off", Pitch: 1.0, FailRate: 0.33, Seed: 8, Counts: []int{1, 0, 0, 2}},
+		// bond/rdl family: stacking and redistribution variants.
+		{Name: "bond0-ddr3-f2f", Base: "ddr3-off", Pitch: 1.0, Bonding: "F2F", Seed: 9},
+		{Name: "rdl0-ddr3", Base: "ddr3-off", Pitch: 1.0, RDL: "interface", TSVStyle: "C", Seed: 10},
+		// rail family: supply-network coupling (stand-alone vs. on-logic).
+		{Name: "rail0-ddr3-on", Base: "ddr3-on", Pitch: 1.0, Rails: 2, Seed: 11},
+		{Name: "rail1-wideio", Base: "wideio", Pitch: 1.0, Rails: 2, Seed: 12},
+		{Name: "rail2-ddr3-split", Base: "ddr3-on", Pitch: 1.0, Rails: 1, Seed: 13},
+	}
+}
+
+// sizedPitches are the on-the-fly escalation levels above the committed
+// corpus; level i selects sizedPitches[i] mm.
+var sizedPitches = []float64{0.4, 0.3, 0.2}
+
+// SizedLevels is the number of on-the-fly escalation levels.
+func SizedLevels() int { return len(sizedPitches) }
+
+// Sized returns the on-the-fly large mesh of one escalation level for a
+// base benchmark. These are not committed: they exist to push the solvers
+// past the dense-oracle regime (cross-check territory) in long test mode
+// and `pdnbench -long`.
+func Sized(base string, level int) (*Spec, error) {
+	if level < 0 || level >= len(sizedPitches) {
+		return nil, fmt.Errorf("gen: sized level %d out of [0, %d)", level, len(sizedPitches))
+	}
+	return &Spec{
+		Name:  fmt.Sprintf("sized%d-%s", level, base),
+		Base:  base,
+		Pitch: sizedPitches[level],
+		Seed:  uint64(100 + level),
+	}, nil
+}
+
+// Corpus parses the committed golden corpus files in name order. The
+// decoder rejects unknown fields, so a format drift between the goldens
+// and the Spec schema fails loudly instead of silently ignoring knobs.
+func Corpus() ([]*Spec, error) {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading embedded corpus: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	specs := make([]*Spec, 0, len(names))
+	for _, name := range names {
+		data, err := corpusFS.ReadFile("corpus/" + name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("gen: corpus/%s: %w", name, err)
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// Decode parses one corpus entry, rejecting unknown fields.
+func Decode(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	s := &Spec{}
+	if err := dec.Decode(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Encode serializes one corpus entry in the committed golden form:
+// two-space indented JSON with a trailing newline.
+func Encode(s *Spec) ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteCorpus serializes the canonical corpus into dir, one
+// "<name>.json" per entry, and removes stale .json files no longer in
+// the canonical list. `pdnbench -regen` calls this against the source
+// tree; the embedded goldens pin the result.
+func WriteCorpus(dir string) error {
+	keep := map[string]bool{}
+	for _, s := range Canonical() {
+		data, err := Encode(s)
+		if err != nil {
+			return err
+		}
+		name := s.Name + ".json"
+		keep[name] = true
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !keep[e.Name()] && filepath.Ext(e.Name()) == ".json" {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

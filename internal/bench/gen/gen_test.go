@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pdn3d/internal/speckey"
+)
+
+// TestCanonicalNamesUnique: corpus names are file names and cache keys —
+// duplicates would silently drop goldens.
+func TestCanonicalNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Canonical() {
+		if seen[s.Name] {
+			t.Errorf("duplicate canonical name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// TestCanonicalAllBuild: every committed corpus entry expands into a
+// validated design.
+func TestCanonicalAllBuild(t *testing.T) {
+	for _, s := range Canonical() {
+		if _, err := s.Build(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestCorpusGoldensMatchCanonical pins the committed golden files to the
+// canonical list byte for byte: same entries, same serialized form.
+// Regenerate with `go run ./cmd/pdnbench -regen` after editing Canonical.
+func TestCorpusGoldensMatchCanonical(t *testing.T) {
+	canon := Canonical()
+	specs, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(canon) {
+		t.Fatalf("corpus has %d goldens, canonical list has %d (run pdnbench -regen)", len(specs), len(canon))
+	}
+	byName := map[string]*Spec{}
+	for _, s := range canon {
+		byName[s.Name] = s
+	}
+	for _, got := range specs {
+		want, ok := byName[got.Name]
+		if !ok {
+			t.Errorf("golden %q not in the canonical list (stale file; run pdnbench -regen)", got.Name)
+			continue
+		}
+		gb, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := Encode(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("golden %q drifted from canonical:\n got %s\nwant %s", got.Name, gb, wb)
+		}
+	}
+}
+
+// TestDecodeRejectsUnknownFields: schema drift between goldens and Spec
+// must fail loudly.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode([]byte(`{"name": "x", "base": "ddr3-off", "tsv_rate": 2}`)); err == nil {
+		t.Error("want error for unknown field, got nil")
+	}
+}
+
+// TestBuildDeterministic: the expansion is a pure function of the Spec
+// value — two Builds of the same entry yield identical designs (same
+// speckey fingerprint, same failed-TSV sample).
+func TestBuildDeterministic(t *testing.T) {
+	for _, s := range Canonical() {
+		a, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ka := speckey.Spec(a.Spec, a.Spec.OnLogic)
+		kb := speckey.Spec(b.Spec, b.Spec.OnLogic)
+		if ka != kb {
+			t.Errorf("%s: two Builds produced different speckeys", s.Name)
+		}
+		if !reflect.DeepEqual(a.Spec.FailedTSVs, b.Spec.FailedTSVs) {
+			t.Errorf("%s: failed-TSV sample not deterministic", s.Name)
+		}
+		if !reflect.DeepEqual(a.Counts, b.Counts) || a.IO != b.IO {
+			t.Errorf("%s: state expansion not deterministic", s.Name)
+		}
+	}
+}
+
+// TestFailTSVs: the seeded sample has exactly round(rate·count) members,
+// always leaves a survivor, stays in range, and is seed-stable.
+func TestFailTSVs(t *testing.T) {
+	got := failTSVs(100, 0.25, 42)
+	if len(got) != 25 {
+		t.Errorf("rate 0.25 of 100: %d failed, want 25", len(got))
+	}
+	for i := range got {
+		if i < 0 || i >= 100 {
+			t.Errorf("failed index %d out of range", i)
+		}
+	}
+	if again := failTSVs(100, 0.25, 42); !reflect.DeepEqual(got, again) {
+		t.Error("same seed produced a different sample")
+	}
+	if other := failTSVs(100, 0.25, 43); reflect.DeepEqual(got, other) {
+		t.Error("different seeds produced the identical sample (suspicious)")
+	}
+	// Saturating rate still leaves one TSV alive.
+	if full := failTSVs(8, 0.99, 7); len(full) != 7 {
+		t.Errorf("near-1 rate on 8 TSVs failed %d, want 7 (one survivor)", len(full))
+	}
+	if none := failTSVs(8, 0.01, 7); none != nil {
+		t.Errorf("rate rounding to zero should fail no TSVs, got %d", len(none))
+	}
+}
+
+// TestSpecKeyFramingInjective is the property behind every cache key in
+// the system: speckey's length-prefixed framing is injective, so no pair
+// of field tuples can collide. testing/quick drives random tuples; the
+// table pins the classic delimiter-absorption counterexamples that
+// naive "a|b" joining gets wrong.
+func TestSpecKeyFramingInjective(t *testing.T) {
+	frame := func(a, b string) string {
+		var k speckey.Builder
+		k.Str(a)
+		k.Str(b)
+		return k.String()
+	}
+	prop := func(a1, b1, a2, b2 string) bool {
+		same := a1 == a2 && b1 == b2
+		return (frame(a1, b1) == frame(a2, b2)) == same
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	adversarial := [][4]string{
+		{"a", "bc", "ab", "c"},
+		{"", "ab", "ab", ""},
+		{"1:a", "", "", "1:a"},
+		{"2:", "x", "2", ":x"},
+	}
+	for _, c := range adversarial {
+		if frame(c[0], c[1]) == frame(c[2], c[3]) {
+			t.Errorf("framing collision: (%q,%q) vs (%q,%q)", c[0], c[1], c[2], c[3])
+		}
+	}
+}
+
+// TestSpecKeyInjectiveAcrossFamily: within the generator's spec family —
+// same corpus name, one knob perturbed at a time — two entries may share
+// a speckey.Spec fingerprint only if they expand to the identical design
+// (some overrides are no-ops when they match the base default). A key
+// collision between materially different designs means some generator
+// knob is invisible to the cache key, i.e. two different meshes would
+// share cached results.
+func TestSpecKeyInjectiveAcrossFamily(t *testing.T) {
+	base := Spec{Name: "family", Base: "ddr3-off", Pitch: 1.0, Seed: 1}
+	family := []Spec{base}
+	perturb := func(f func(*Spec)) {
+		s := base
+		f(&s)
+		family = append(family, s)
+	}
+	perturb(func(s *Spec) { s.Pitch = 0.8 })
+	perturb(func(s *Spec) { s.Pitch = 0.6 })
+	perturb(func(s *Spec) { s.TSVStyle = "C" })
+	perturb(func(s *Spec) { s.TSVStyle = "E" })
+	perturb(func(s *Spec) { s.TSVStyle = "D" })
+	perturb(func(s *Spec) { s.TSVCount = 64 })
+	perturb(func(s *Spec) { s.TSVCount = 96 })
+	perturb(func(s *Spec) { s.Bonding = "F2F" })
+	perturb(func(s *Spec) { s.RDL = "interface" })
+	perturb(func(s *Spec) { s.RDL = "all" })
+	perturb(func(s *Spec) { s.FailRate = 0.1 })
+	perturb(func(s *Spec) { s.FailRate = 0.2 })
+	perturb(func(s *Spec) { s.FailRate = 0.1; s.Seed = 2 })
+	perturb(func(s *Spec) { s.UsageScale = 0.9 })
+	perturb(func(s *Spec) { s.UsageScale = 0.8 })
+
+	type entry struct {
+		gen  Spec
+		inst *Instance
+	}
+	keys := map[string]entry{}
+	distinct := 0
+	for _, s := range family {
+		s := s
+		inst, err := s.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		key := speckey.Spec(inst.Spec, inst.Spec.OnLogic)
+		if prev, ok := keys[key]; ok {
+			if !reflect.DeepEqual(prev.inst.Spec, inst.Spec) {
+				t.Errorf("speckey collision between materially distinct designs:\n  %+v\n  %+v", prev.gen, s)
+			}
+			continue
+		}
+		distinct++
+		keys[key] = entry{gen: s, inst: inst}
+	}
+	// Sanity: the family genuinely exercises the key — most perturbations
+	// must produce distinct designs, or the test is vacuous.
+	if distinct < len(family)-3 {
+		t.Errorf("only %d of %d family members are distinct designs; perturbations are not material", distinct, len(family))
+	}
+}

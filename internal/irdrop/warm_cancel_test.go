@@ -1,0 +1,86 @@
+package irdrop
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pdn3d/internal/powermap"
+)
+
+// TestCancelledWarmSolveDoesNotPublish is the warm-start poisoning
+// regression: a warm-started AnalyzeCtx whose context is cancelled must
+// not publish anything into the WarmStart cell. If it did, the partially
+// converged iterate (or the seed itself) would become the X0 of every
+// subsequent solve — a silent accuracy leak that no per-solve tolerance
+// check would catch, because later solves still converge, just from a
+// corrupted starting point that was never a completed solution.
+func TestCancelledWarmSolveDoesNotPublish(t *testing.T) {
+	a, err := New(coarseSpec(t), powermap.StackedDDR3Power(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Warm = &WarmStart{}
+	// Prime the cell with one completed solve.
+	if _, err := a.AnalyzeCounts([]int{1, 0, 0, 0}, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	seed0 := a.Warm.Seed(a.Model.N())
+	if seed0 == nil {
+		t.Fatal("priming solve did not publish a warm seed")
+	}
+	// A different state so the primed seed cannot satisfy the solver's
+	// initial-residual early return (which would be a legitimate publish).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.AnalyzeCtx(ctx, state(t, 0, 0, 0, 2), 1.0); err == nil {
+		t.Fatal("analyze with a cancelled context succeeded")
+	}
+	seed1 := a.Warm.Seed(a.Model.N())
+	if seed1 == nil {
+		t.Fatal("warm seed vanished after a cancelled solve")
+	}
+	if &seed1[0] != &seed0[0] {
+		t.Error("cancelled warm-started solve published into the warm-start cell")
+	}
+}
+
+// TestCancelledWarmSolvesConcurrent hammers the cell with concurrent
+// cancelled warm-started solves (run under -race in CI): none may
+// publish, so the cell must still hold the exact primed solution at the
+// end, and the reads/writes must be race-clean.
+func TestCancelledWarmSolvesConcurrent(t *testing.T) {
+	a, err := New(coarseSpec(t), powermap.StackedDDR3Power(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Warm = &WarmStart{}
+	if _, err := a.AnalyzeCounts([]int{1, 0, 0, 0}, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	seed0 := a.Warm.Seed(a.Model.N())
+	if seed0 == nil {
+		t.Fatal("priming solve did not publish a warm seed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	states := [][]int{{0, 0, 0, 2}, {0, 2, 0, 0}, {1, 1, 1, 1}, {2, 0, 0, 0}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				st := state(t, states[(g+i)%len(states)]...)
+				if _, err := a.AnalyzeCtx(ctx, st, 1.0); err == nil {
+					t.Error("cancelled analyze succeeded")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seed1 := a.Warm.Seed(a.Model.N())
+	if seed1 == nil || &seed1[0] != &seed0[0] {
+		t.Error("a cancelled solve published into the warm-start cell")
+	}
+}

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -164,6 +165,43 @@ func TestWarmStartCounter(t *testing.T) {
 	for name := range snap.Counters {
 		if strings.Contains(name, "cholesky.warm_starts") && snap.Counters[name] != 0 {
 			t.Errorf("cholesky counted a warm start: %s = %d", name, snap.Counters[name])
+		}
+	}
+}
+
+// TestWarmStartCancelPublishesNothing: a warm-started solve that is
+// cancelled mid-flight must return a nil vector and leave the caller's
+// X0 untouched — the solver never hands back a partially converged
+// iterate that an upstream warm-start cache could mistake for a
+// solution.
+func TestWarmStartCancelPublishesNothing(t *testing.T) {
+	a := grid2D(20, 20)
+	b, x := warmSystem(t)
+	guess := make([]float64, len(x))
+	saved := make([]float64, len(x))
+	for i := range x {
+		guess[i] = x[i] * (1 + 1e-2*float64(i%5))
+	}
+	copy(saved, guess)
+	stop := errors.New("request abandoned")
+	calls := 0
+	cancel := func() error {
+		calls++
+		if calls > 2 {
+			return stop
+		}
+		return nil
+	}
+	got, _, err := CG(a, b, CGOptions{Tol: 1e-12, X0: guess, Cancel: cancel})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want wrapped cancellation cause", err)
+	}
+	if got != nil {
+		t.Error("cancelled warm solve returned a partial iterate; want nil")
+	}
+	for i := range guess {
+		if math.Float64bits(guess[i]) != math.Float64bits(saved[i]) {
+			t.Fatalf("X0 mutated at %d during cancelled solve", i)
 		}
 	}
 }

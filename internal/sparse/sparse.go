@@ -270,6 +270,29 @@ func (m *CSR) Dense() [][]float64 {
 	return out
 }
 
+// StructureEqual reports whether a and b have the same dimension and the
+// exact same sparsity pattern (row pointers and column indices), ignoring
+// the stored values. Two matrices assembled from the same branch set —
+// e.g. an R-Mesh and its re-parsed SPICE netlist — must compare equal
+// here even when their values differ by rounding; the differential
+// harness uses this as the structural half of its round-trip contract.
+func StructureEqual(a, b *CSR) bool {
+	if a.N != b.N || len(a.Col) != len(b.Col) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // IsSymmetric reports whether the matrix is numerically symmetric within
 // tol, comparing every stored entry against its transpose partner.
 func (m *CSR) IsSymmetric(tol float64) bool {

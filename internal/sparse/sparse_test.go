@@ -328,3 +328,42 @@ func TestPatternNewCSRIndependentValues(t *testing.T) {
 		t.Fatal("pattern CSRs share value storage")
 	}
 }
+
+// StructureEqual compares the symbolic pattern only: same shape with
+// different values is equal, any structural drift is not.
+func TestStructureEqual(t *testing.T) {
+	build := func(stamp func(b *Builder)) *CSR {
+		b := NewBuilder(3)
+		stamp(b)
+		return b.Compress()
+	}
+	base := func(b *Builder) {
+		b.AddConductance(0, 1, 2)
+		b.AddConductance(1, 2, 3)
+		b.AddToGround(0, 1)
+	}
+	a := build(base)
+	if !StructureEqual(a, a) {
+		t.Error("matrix not structure-equal to itself")
+	}
+	sameShape := build(func(b *Builder) {
+		b.AddConductance(0, 1, 7)
+		b.AddConductance(1, 2, 11)
+		b.AddToGround(0, 5)
+	})
+	if !StructureEqual(a, sameShape) {
+		t.Error("same pattern with different values reported unequal")
+	}
+	extraBranch := build(func(b *Builder) {
+		base(b)
+		b.AddConductance(0, 2, 1)
+	})
+	if StructureEqual(a, extraBranch) {
+		t.Error("extra branch not detected")
+	}
+	smaller := NewBuilder(2)
+	smaller.AddConductance(0, 1, 2)
+	if StructureEqual(a, smaller.Compress()) {
+		t.Error("dimension mismatch not detected")
+	}
+}

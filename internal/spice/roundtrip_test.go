@@ -1,0 +1,156 @@
+// Round-trip property tests live in the external test package so they
+// can drive the generator (internal/bench/gen) without an import cycle.
+package spice_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pdn3d/internal/bench/gen"
+	"pdn3d/internal/bench3d"
+	"pdn3d/internal/irdrop"
+	"pdn3d/internal/memstate"
+	"pdn3d/internal/rmesh"
+	"pdn3d/internal/solve"
+	"pdn3d/internal/sparse"
+	"pdn3d/internal/spice"
+)
+
+// roundTripVoltTol mirrors diff.RoundTripVoltTol (the diff package cannot
+// be imported by name here without dragging the whole harness into every
+// spice test run; the bound is documented in DESIGN.md §5g).
+const roundTripVoltTol = 1e-8
+
+// assemble expands a generator instance into its mesh and loaded RHS.
+func assemble(t *testing.T, inst *gen.Instance) (*rmesh.Model, []float64) {
+	t.Helper()
+	var logic = inst.Bench.LogicPower
+	if !inst.Spec.OnLogic {
+		logic = nil
+	}
+	a, err := irdrop.New(inst.Spec, inst.Bench.DRAMPower, logic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := memstate.FromCounts(inst.Counts, memstate.WorstCaseEdge(inst.Spec.DRAM.NumBanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := a.LoadedRHS(st, inst.IO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Model, rhs
+}
+
+// checkRoundTrip writes the model as a deck, re-parses it, and asserts
+// the round-trip contract: exact sparsity pattern, near-ulp values, and
+// voltages within roundTripVoltTol.
+func checkRoundTrip(t *testing.T, m *rmesh.Model, rhs []float64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := spice.WriteNetlist(&buf, m, rhs, m.Spec.Name); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := spice.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, rhs2, err := nl.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.StructureEqual(m.Matrix, a2) {
+		t.Fatal("re-parsed matrix has a different sparsity pattern")
+	}
+	for i := range m.Matrix.Val {
+		a, b := m.Matrix.Val[i], a2.Val[i]
+		if d := math.Abs(a - b); d != 0 && d/math.Max(math.Abs(a), math.Abs(b)) > 1e-12 {
+			t.Fatalf("matrix entry %d drifted: %g vs %g", i, a, b)
+		}
+	}
+	for i := range rhs {
+		a, b := rhs[i], rhs2[i]
+		if d := math.Abs(a - b); d != 0 && d/math.Max(math.Abs(a), math.Abs(b)) > 1e-12 {
+			t.Fatalf("rhs entry %d drifted: %g vs %g", i, a, b)
+		}
+	}
+	cg := solve.CGOptions{Tol: 1e-13}
+	x1, _, err := m.Solve(rhs, solve.Options{CGOptions: cg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := solve.New(a2, solve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, _, err := s2.Solve(rhs2, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den float64
+	for i := range x1 {
+		if d := math.Abs(x2[i] - x1[i]); d > num {
+			num = d
+		}
+		if a := math.Abs(x1[i]); a > den {
+			den = a
+		}
+	}
+	if num > roundTripVoltTol*den {
+		t.Errorf("round-trip voltage error %.3e above %.0e", num/den, roundTripVoltTol)
+	}
+}
+
+// TestRoundTripPaperDesigns: the round-trip property holds for all four
+// paper benchmarks (meshed at 1mm pitch so the suite stays fast; the
+// corpus and pdnbench cover finer pitches).
+func TestRoundTripPaperDesigns(t *testing.T) {
+	benches, err := bench3d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			s := &gen.Spec{Name: b.Name + "-rt", Base: b.Name, Pitch: 1.0, Seed: 1}
+			inst, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, rhs := assemble(t, inst)
+			checkRoundTrip(t, m, rhs)
+		})
+	}
+}
+
+// FuzzNetlistRoundTrip drives the round-trip property across the
+// generator's knob space: any reachable design must export to a deck
+// that re-parses into the same structure, near-identical values, and
+// voltages within tolerance.
+func FuzzNetlistRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint16(100), uint16(0), uint64(1))
+	f.Add(uint8(1), uint16(100), uint16(50), uint64(2))
+	f.Add(uint8(2), uint16(110), uint16(0), uint64(3))
+	f.Add(uint8(3), uint16(90), uint16(25), uint64(4))
+	bases := []string{"ddr3-off", "ddr3-on", "wideio", "hmc"}
+	f.Fuzz(func(t *testing.T, base uint8, pitchCenti, usageCenti uint16, seed uint64) {
+		s := &gen.Spec{
+			Name:  "fuzz-rt",
+			Base:  bases[int(base)%len(bases)],
+			Pitch: 0.9 + float64(pitchCenti%128)/100,
+			// UsageScale in [0.5, 1.5): sweeps conductance magnitudes, and
+			// with them the emitted resistance text, without changing shape.
+			UsageScale: 0.5 + float64(usageCenti%100)/100,
+			Seed:       seed,
+		}
+		inst, err := s.Build()
+		if err != nil {
+			t.Skip() // invalid knob combination
+		}
+		m, rhs := assemble(t, inst)
+		checkRoundTrip(t, m, rhs)
+	})
+}

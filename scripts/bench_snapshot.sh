@@ -72,3 +72,12 @@ lint_findings=$(grep -c '"analyzer"' "$lint_out" || true)
 printf '{\n  "target": "pdnlint ./...",\n  "wall_ms": %s,\n  "findings": %s,\n  "exit_status": %s\n}\n' \
   "$lint_ms" "$lint_findings" "$lint_status" >BENCH_lint.json
 echo "wrote BENCH_lint.json (pdnlint ./... in ${lint_ms} ms, ${lint_findings} findings)"
+
+# Differential-coverage snapshot: how much of the solver registry × corpus
+# matrix the differential harness checks and how tightly it agrees
+# (corpus size, per-mesh solver runs, max observed relative error). No
+# timestamps or host data — the numbers move only when the corpus, the
+# solver registry, or solver numerics change (error magnitudes can wiggle
+# at the last digits with the worker count's reduction order).
+go run ./cmd/pdnbench -out BENCH_diff.json >/dev/null
+echo "wrote BENCH_diff.json ($(go run ./cmd/pdnbench -list | wc -l) corpus entries)"
