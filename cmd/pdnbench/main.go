@@ -13,6 +13,7 @@
 //	pdnbench -list           print the corpus without running it
 //	pdnbench -regen          rewrite the committed corpus goldens
 //	pdnbench -export DIR     write each corpus mesh as a SPICE deck
+//	pdnbench -import GLOB    run external SPICE decks through the harness
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		regen    = flag.Bool("regen", false, "rewrite the committed corpus goldens and exit")
 		dir      = flag.String("dir", "internal/bench/gen/corpus", "corpus directory for -regen")
 		exportTo = flag.String("export", "", "write each corpus mesh as a SPICE deck into this directory and exit")
+		importGl = flag.String("import", "", "run external SPICE decks matching this glob through the differential harness and exit")
 		out      = flag.String("out", "", "write the BENCH_diff.json snapshot to this path")
 		long     = flag.Bool("long", false, "also run the on-the-fly sized meshes (cross-check regime)")
 		solvers  = flag.String("solvers", "", "comma-separated solver methods (default: every registered method)")
@@ -43,6 +45,17 @@ func main() {
 		workers  = flag.Int("workers", 0, "solver worker pool bound (0: GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *importGl != "" {
+		opt := diff.Options{OracleMaxN: *maxN, Workers: *workers}
+		if *solvers != "" {
+			opt.Methods = strings.Split(*solvers, ",")
+		}
+		if err := importDecks(*importGl, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "pdnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*list, *regen, *dir, *exportTo, *out, *long, *solvers, *maxN, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pdnbench:", err)
 		os.Exit(1)
@@ -175,6 +188,29 @@ func (s *Snapshot) add(rep *diff.MeshReport) {
 		}
 	}
 	s.Reports = append(s.Reports, rep)
+}
+
+// importDecks runs every deck matching the glob through the differential
+// harness and prints one line per deck plus a typed per-file error report.
+// Any failing deck makes the whole import fail so a CI invocation over a
+// deck directory cannot silently skip a corrupt file.
+func importDecks(pattern string, opt diff.Options) error {
+	reps, fails, err := diff.CheckDecks(pattern, opt)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		fmt.Printf("%-30s %6d nodes %8d nnz  oracle=%-14s runs=%d  max_rel_err=%.3e\n",
+			filepath.Base(rep.File), rep.Nodes, rep.NNZ, rep.Oracle, len(rep.Runs), rep.MaxRelErr)
+	}
+	for _, fe := range fails {
+		fmt.Fprintf(os.Stderr, "FAIL %-25s stage=%-7s %v\n", filepath.Base(fe.File), fe.Stage, fe.Err)
+	}
+	fmt.Printf("imported %d decks: %d ok, %d failed\n", len(reps)+len(fails), len(reps), len(fails))
+	if len(fails) > 0 {
+		return fmt.Errorf("%d of %d decks failed to import (see report above)", len(fails), len(reps)+len(fails))
+	}
+	return nil
 }
 
 // exportDecks writes each corpus mesh as a standalone SPICE deck — the

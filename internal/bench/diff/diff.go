@@ -93,6 +93,13 @@ type Run struct {
 	// Iterations and Residual are the solver's own convergence story.
 	Iterations int     `json:"iterations"`
 	Residual   float64 `json:"residual"`
+	// Precond names the preconditioner the solver reported actually
+	// running (CGStats.Precond; empty for direct methods), and Fallback
+	// marks a setup-time substitution (IC(0) breakdown → Jacobi). The
+	// harness surfaces both so a silent preconditioner swap shows up as a
+	// diff in the committed snapshot.
+	Precond  string `json:"precond,omitempty"`
+	Fallback bool   `json:"fallback,omitempty"`
 	// RelErr is the ∞-norm relative error against the mesh's reference
 	// solution.
 	RelErr float64 `json:"rel_err"`
@@ -195,6 +202,8 @@ func Check(s *gen.Spec, opt Options) (*MeshReport, error) {
 				Warm:       warm,
 				Iterations: stats.Iterations,
 				Residual:   stats.Residual,
+				Precond:    stats.Precond,
+				Fallback:   stats.Fallback,
 				RelErr:     RelErr(x, ref),
 			}
 			rep.Runs = append(rep.Runs, run)

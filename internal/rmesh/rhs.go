@@ -6,6 +6,7 @@ import (
 
 	"pdn3d/internal/powermap"
 	"pdn3d/internal/solve"
+	"pdn3d/internal/sparse"
 )
 
 // BaseRHS returns the right-hand side of the folded nodal system with no
@@ -63,6 +64,10 @@ func addLoads(rhs []float64, l *Layer, loads []powermap.Load, vdd float64) error
 // in opt, building it on first use. Construction is deduplicated: when many
 // goroutines request the same (method, workers) pair concurrently, exactly
 // one factorization runs and the rest share it.
+//
+// Reordering-aware methods (cg-amg) are built on the RCM-reordered matrix
+// and wrapped so callers see the original node ordering: right-hand sides
+// and warm-start guesses in, voltages out — all in mesh numbering.
 func (m *Model) Solver(opt solve.Options) (solve.Solver, error) {
 	method := opt.Method
 	if method == "" {
@@ -72,8 +77,29 @@ func (m *Model) Solver(opt solve.Options) (solve.Solver, error) {
 		opt.Obs = m.obs // an instrumented model instruments its solvers
 	}
 	return m.solvers.Do(method+"/"+strconv.Itoa(opt.Workers), func() (solve.Solver, error) {
+		if solve.UsesReordering(method) {
+			inner, err := solve.New(m.reorderedMatrix(), opt)
+			if err != nil {
+				return nil, err
+			}
+			return solve.Reordered(inner, m.topo.Perm()), nil
+		}
 		return solve.New(m.Matrix, opt)
 	})
+}
+
+// reorderedMatrix materializes the RCM-reordered conductance matrix on
+// first use by scattering the current stamp stream through the topology's
+// permuted pattern. Later restamps keep it in sync (see restamp).
+func (m *Model) reorderedMatrix() *sparse.CSR {
+	m.permMu.Lock()
+	defer m.permMu.Unlock()
+	if m.permMatrix == nil {
+		pm := m.topo.permPattern.NewCSR()
+		m.topo.permPattern.Scatter(pm.Val, m.stampBuf)
+		m.permMatrix = pm
+	}
+	return m.permMatrix
 }
 
 // Solve runs the selected solver on the assembled system and returns node

@@ -48,6 +48,29 @@ func BenchmarkCG_Jacobi(b *testing.B) { benchCG(b, MethodCGJacobi) }
 
 func BenchmarkCG_IC0(b *testing.B) { benchCG(b, MethodCGIC0) }
 
+// BenchmarkCG_AMG tracks the multigrid-preconditioned path. Its
+// iters/solve metric feeds BENCH_solver.json and the CI iteration guard:
+// AMG's near-size-independent iteration counts versus cg-ic0's growth are
+// the committed evidence for the preconditioner's payoff at scale.
+func BenchmarkCG_AMG(b *testing.B) { benchCG(b, MethodCGAMG) }
+
+// BenchmarkAMGSetup isolates the hierarchy build (aggregation + Galerkin
+// products + coarse factorization) the Solver interface amortizes.
+func BenchmarkAMGSetup(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			a := grid2D(sz.nx, sz.ny)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewAMG(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIC0Factorization isolates the one-time setup cost the Solver
 // interface amortizes across right-hand sides.
 func BenchmarkIC0Factorization(b *testing.B) {

@@ -54,6 +54,32 @@ type CGStats struct {
 	Iterations int
 	Residual   float64 // final relative residual
 	Converged  bool
+	// Precond names the preconditioner that actually ran ("ic0",
+	// "jacobi", "amg"; empty for direct methods and for callers driving
+	// the CG core directly). It is set by the registry solvers and by
+	// PCG — not inside the CG core — so a solve that silently swapped
+	// preconditioners at setup is visible to traces and the diff harness.
+	Precond string
+	// Fallback reports that the method's preferred preconditioner broke
+	// down at setup and a substitute ran instead (IC(0) → Jacobi).
+	Fallback bool
+}
+
+// DegenerateDiagonalError reports a zero, negative, NaN, or missing
+// diagonal entry in a conductance system — the signature of a degenerate
+// mesh where a node has lost every path to a supply (e.g. 100% TSV
+// failure). Solvers return it from setup instead of dividing by the bad
+// diagonal and propagating NaN voltages.
+type DegenerateDiagonalError struct {
+	Node  int
+	Value float64 // the stored diagonal; 0 when the entry is missing entirely
+}
+
+func (e *DegenerateDiagonalError) Error() string {
+	if e.Value == 0 {
+		return fmt.Sprintf("solve: degenerate diagonal at node %d: zero or missing entry (node has no conductance path)", e.Node)
+	}
+	return fmt.Sprintf("solve: degenerate diagonal at node %d: %g (matrix not SPD)", e.Node, e.Value)
 }
 
 // ErrNotConverged is wrapped in the error returned when CG exhausts its
@@ -72,16 +98,29 @@ type Jacobi struct {
 	invD []float64
 }
 
-// NewJacobi builds the Jacobi preconditioner, rejecting non-SPD diagonals.
+// NewJacobi builds the Jacobi preconditioner. A zero, negative, NaN, or
+// missing diagonal (CSR.Diag reports missing entries as 0) yields a typed
+// *DegenerateDiagonalError naming the node instead of a divide-by-zero
+// that would surface as NaN voltages much later.
 func NewJacobi(a *sparse.CSR) (*Jacobi, error) {
+	invD, err := invDiag(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Jacobi{invD: invD}, nil
+}
+
+// invDiag extracts 1/diag(A), failing with a typed error on any diagonal
+// a preconditioner must not divide by. The !(d > 0) form also rejects NaN.
+func invDiag(a *sparse.CSR) ([]float64, error) {
 	invD := a.Diag()
 	for i, d := range invD {
-		if d <= 0 {
-			return nil, fmt.Errorf("solve: non-positive diagonal %g at row %d (matrix not SPD)", d, i)
+		if !(d > 0) {
+			return nil, &DegenerateDiagonalError{Node: i, Value: d}
 		}
 		invD[i] = 1 / d
 	}
-	return &Jacobi{invD: invD}, nil
+	return invD, nil
 }
 
 // Apply computes z = diag(A)⁻¹ · r.

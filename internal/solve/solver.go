@@ -48,10 +48,27 @@ const (
 	MethodCGIC0 = "cg-ic0"
 	// MethodCGJacobi is Jacobi-preconditioned CG — the robust fallback.
 	MethodCGJacobi = "cg-jacobi"
+	// MethodCGAMG is CG preconditioned by an aggregation-based algebraic
+	// multigrid V-cycle (see amg.go). Callers that hold an rmesh model
+	// additionally run it on the RCM-reordered system.
+	MethodCGAMG = "cg-amg"
 	// MethodCholesky is the dense exact factorization — the golden
 	// reference for small systems (O(n³)).
 	MethodCholesky = "cholesky"
 )
+
+// Preconditioner names reported in CGStats.Precond.
+const (
+	precondIC0    = "ic0"
+	precondJacobi = "jacobi"
+	precondAMG    = "amg"
+)
+
+// UsesReordering reports whether a method benefits from solving the
+// RCM-reordered system. Only cg-amg opts in: the existing methods keep
+// their byte-pinned outputs, and reordering the system changes the
+// floating-point trajectory of every iterative solve.
+func UsesReordering(method string) bool { return method == MethodCGAMG }
 
 // DefaultMethod is used when Options.Method is empty.
 const DefaultMethod = MethodCGIC0
@@ -109,23 +126,41 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return newCGSolver(MethodCGJacobi, a, pre, opt, m), nil
+		return newCGSolver(MethodCGJacobi, a, pre, opt, m, precondJacobi, false), nil
 	})
 	Register(MethodCGIC0, func(a *sparse.CSR, opt Options) (Solver, error) {
 		// IC(0) of an SPD matrix can still break down; mirror the PCG
-		// fallback and degrade to Jacobi scaling.
+		// fallback and degrade to Jacobi scaling. The swap is recorded in
+		// the solve.ic_fallbacks counter and in every CGStats this solver
+		// returns — a silent preconditioner substitution once hid solver
+		// regressions from traces and the diff harness.
 		m := newSolverMetrics(opt.Obs, MethodCGIC0)
 		stop := m.setup.Start()
+		precond, fallback := precondIC0, false
 		var pre Preconditioner
 		ic, err := NewIC(a)
 		if err == nil {
 			pre = ic
-		} else if pre, err = NewJacobi(a); err != nil {
-			stop()
-			return nil, err
+		} else {
+			precond, fallback = precondJacobi, true
+			opt.Obs.Counter("solve.ic_fallbacks").Add(1)
+			if pre, err = NewJacobi(a); err != nil {
+				stop()
+				return nil, err
+			}
 		}
 		stop()
-		return newCGSolver(MethodCGIC0, a, pre, opt, m), nil
+		return newCGSolver(MethodCGIC0, a, pre, opt, m, precond, fallback), nil
+	})
+	Register(MethodCGAMG, func(a *sparse.CSR, opt Options) (Solver, error) {
+		m := newSolverMetrics(opt.Obs, MethodCGAMG)
+		stop := m.setup.Start()
+		pre, err := NewAMG(a)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+		return newCGSolver(MethodCGAMG, a, pre, opt, m, precondAMG, false), nil
 	})
 	Register(MethodCholesky, func(a *sparse.CSR, opt Options) (Solver, error) {
 		m := newSolverMetrics(opt.Obs, MethodCholesky)
@@ -139,20 +174,25 @@ func init() {
 	})
 }
 
-// cgSolver is a preconditioned-CG method bound to one matrix.
+// cgSolver is a preconditioned-CG method bound to one matrix. precond
+// names the preconditioner that was actually built (which can differ from
+// the method's preferred one — see the cg-ic0 fallback), and fallback
+// records that substitution; both are stamped into every CGStats returned.
 type cgSolver struct {
-	method string
-	a      *sparse.CSR
-	pre    Preconditioner
-	k      kernels
-	m      solverMetrics
+	method   string
+	a        *sparse.CSR
+	pre      Preconditioner
+	k        kernels
+	m        solverMetrics
+	precond  string
+	fallback bool
 }
 
-func newCGSolver(method string, a *sparse.CSR, pre Preconditioner, opt Options, m solverMetrics) *cgSolver {
+func newCGSolver(method string, a *sparse.CSR, pre Preconditioner, opt Options, m solverMetrics, precond string, fallback bool) *cgSolver {
 	if opt.Obs != nil {
 		pre = timedPre{pre: pre, t: m.apply}
 	}
-	return &cgSolver{method: method, a: a, pre: pre, k: kernels{workers: opt.Workers}, m: m}
+	return &cgSolver{method: method, a: a, pre: pre, k: kernels{workers: opt.Workers}, m: m, precond: precond, fallback: fallback}
 }
 
 func (s *cgSolver) Method() string { return s.method }
@@ -164,6 +204,14 @@ func (s *cgSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error)
 	stop := s.m.solveTime.Start()
 	x, stats, err := pcg(s.a, s.pre, b, opt, s.k)
 	stop()
+	stats.Precond = s.precond
+	stats.Fallback = s.fallback
+	if opt.Span != nil {
+		opt.Span.Annotate(obs.A("precond", s.precond))
+		if s.fallback {
+			opt.Span.Annotate(obs.A("precond_fallback", true))
+		}
+	}
 	s.m.record(stats, err)
 	return x, stats, err
 }

@@ -1,0 +1,98 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// dupStampBuilder builds a matrix whose stamp stream carries many
+// duplicate-coordinate groups with magnitudes chosen so the float sum
+// depends on the summation order: per coordinate the sequence
+// (+big, +1, −big) sums to 0 in stamp order (big + 1 rounds to big) but
+// to 1 when the ±big pair cancels first. The groups are interleaved
+// across enough coordinates that an unstable sort visibly reorders
+// equal-key runs.
+func dupStampBuilder() *Builder {
+	const n = 24
+	const big = 1e16 // big + 1 == big in float64
+	b := NewBuilder(n)
+	// Interleave: first pass stamps +big on every coordinate, second pass
+	// +1, third pass −big, so each coordinate's duplicates are far apart
+	// in the stamp stream.
+	coords := make([][2]int, 0, n*3)
+	for i := 0; i < n; i++ {
+		coords = append(coords, [2]int{i, i})
+		if i+1 < n {
+			coords = append(coords, [2]int{i, i + 1}, [2]int{i + 1, i})
+		}
+	}
+	for _, c := range coords {
+		b.Add(c[0], c[1], big)
+	}
+	for _, c := range coords {
+		b.Add(c[0], c[1], 1)
+	}
+	for _, c := range coords {
+		b.Add(c[0], c[1], -big)
+	}
+	return b
+}
+
+// stampOrderSums accumulates the builder's stamps per coordinate in
+// stamp order — the merge order Freeze promises.
+func stampOrderSums(b *Builder) map[[2]int32]float64 {
+	sums := map[[2]int32]float64{}
+	for i := range b.vals {
+		k := [2]int32{b.rows[i], b.cols[i]}
+		sums[k] += b.vals[i]
+	}
+	return sums
+}
+
+// Regression for the Freeze duplicate-merge order: before the stamp-index
+// tie-break, sort.Slice's unstable equal-key handling could merge
+// duplicates of one coordinate in an arbitrary order, silently changing
+// the float result of the compression. Duplicates must sum in stamp
+// order.
+func TestFreezeMergesDuplicatesInStampOrder(t *testing.T) {
+	b := dupStampBuilder()
+	want := stampOrderSums(b)
+	m := b.Compress()
+	for i := 0; i < m.N; i++ {
+		for q := m.RowPtr[i]; q < m.RowPtr[i+1]; q++ {
+			k := [2]int32{int32(i), m.Col[q]}
+			if got := m.Val[q]; math.Float64bits(got) != math.Float64bits(want[k]) {
+				t.Fatalf("entry (%d,%d) = %g, want stamp-order sum %g (duplicate merge order is unstable)",
+					i, m.Col[q], got, want[k])
+			}
+		}
+	}
+}
+
+// Compress and Freeze+NewCSR+Scatter must stay bit-identical on a stamp
+// stream whose duplicate groups are order-sensitive — the contract the
+// restamp pipeline builds on.
+func TestFreezeScatterBitIdenticalToCompress(t *testing.T) {
+	ref := dupStampBuilder().Compress()
+	b := dupStampBuilder()
+	p := b.Freeze()
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.RawVals())
+	if !StructureEqual(ref, m) {
+		t.Fatal("Freeze+Scatter structure differs from Compress")
+	}
+	for i := range ref.Val {
+		if math.Float64bits(ref.Val[i]) != math.Float64bits(m.Val[i]) {
+			t.Fatalf("value slot %d: Scatter %g vs Compress %g (must be bit-identical)", i, m.Val[i], ref.Val[i])
+		}
+	}
+	// A second scatter of the same stream through the same pattern must
+	// reproduce the values again (restamp replay).
+	m2 := p.NewCSR()
+	p.Scatter(m2.Val, b.RawVals())
+	for i := range m.Val {
+		if math.Float64bits(m.Val[i]) != math.Float64bits(m2.Val[i]) {
+			t.Fatalf("re-scatter diverged at slot %d", i)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gridPattern builds the nx×ny 5-point grid Laplacian with a corner tie.
+func gridPattern(nx, ny int) (*Builder, *Pattern) {
+	b := NewBuilder(nx * ny)
+	idx := func(i, j int) int { return j*nx + i }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if i+1 < nx {
+				b.AddConductance(idx(i, j), idx(i+1, j), 1+0.01*float64(i+j))
+			}
+			if j+1 < ny {
+				b.AddConductance(idx(i, j), idx(i, j+1), 1.5+0.02*float64(i))
+			}
+		}
+	}
+	b.AddToGround(0, 10)
+	return b, b.Freeze()
+}
+
+func TestPermutationIsValidAndDeterministic(t *testing.T) {
+	_, p := gridPattern(17, 9)
+	perm := p.Permutation()
+	checkPerm(perm, p.N()) // panics on an invalid permutation
+	again := p.Permutation()
+	for i := range perm {
+		if perm[i] != again[i] {
+			t.Fatalf("Permutation not deterministic at %d: %d vs %d", i, perm[i], again[i])
+		}
+	}
+}
+
+func TestPermutationReducesBandwidth(t *testing.T) {
+	// Column-major numbering of a wide grid has bandwidth ~ny·... RCM
+	// must do substantially better than the natural ordering here because
+	// the natural ordering is deliberately bad: random shuffle.
+	b, p := gridPattern(40, 10)
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.RawVals())
+
+	// Scramble the numbering to a random permutation first, then let RCM
+	// recover a banded form.
+	rng := rand.New(rand.NewSource(7))
+	shuffle := make([]int32, m.N)
+	for i := range shuffle {
+		shuffle[i] = int32(i)
+	}
+	rng.Shuffle(len(shuffle), func(i, j int) { shuffle[i], shuffle[j] = shuffle[j], shuffle[i] })
+	scrambled := m.Permute(shuffle)
+
+	sb := NewBuilder(scrambled.N)
+	for i := 0; i < scrambled.N; i++ {
+		for q := scrambled.RowPtr[i]; q < scrambled.RowPtr[i+1]; q++ {
+			sb.Add(i, int(scrambled.Col[q]), scrambled.Val[q])
+		}
+	}
+	sp := sb.Freeze()
+	perm := sp.Permutation()
+	reordered := scrambled.Permute(perm)
+	if got, was := reordered.Bandwidth(), scrambled.Bandwidth(); got*4 > was {
+		t.Fatalf("RCM bandwidth %d not substantially below scrambled bandwidth %d", got, was)
+	}
+}
+
+// The permuted matrix must hold exactly the original entries at permuted
+// coordinates, and the permuted pattern's Scatter must agree bit for bit
+// with permuting the unpermuted compression.
+func TestPermuteExactEntriesAndScatterAgreement(t *testing.T) {
+	b, p := gridPattern(13, 11)
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.RawVals())
+	perm := p.Permutation()
+
+	pm := m.Permute(perm)
+	for i := 0; i < m.N; i++ {
+		for q := pm.RowPtr[i]; q < pm.RowPtr[i+1]; q++ {
+			oi, oj := perm[i], perm[pm.Col[q]]
+			if want := m.At(int(oi), int(oj)); math.Float64bits(pm.Val[q]) != math.Float64bits(want) {
+				t.Fatalf("permuted entry (%d,%d) = %g, want original (%d,%d) = %g",
+					i, pm.Col[q], pm.Val[q], oi, oj, want)
+			}
+		}
+	}
+
+	pp := p.Permute(perm)
+	spm := pp.NewCSR()
+	pp.Scatter(spm.Val, b.RawVals())
+	if !StructureEqual(pm, spm) {
+		t.Fatal("Pattern.Permute structure differs from CSR.Permute")
+	}
+	for i := range pm.Val {
+		if math.Float64bits(pm.Val[i]) != math.Float64bits(spm.Val[i]) {
+			t.Fatalf("slot %d: pattern-scatter %g vs csr-permute %g (must be bit-identical)",
+				i, spm.Val[i], pm.Val[i])
+		}
+	}
+}
+
+// Solving the permuted system and inverse-permuting must reproduce the
+// original solution: B = PᵀAP, B·(Pᵀx) = Pᵀb.
+func TestPermuteVecRoundTrip(t *testing.T) {
+	_, p := gridPattern(6, 5)
+	perm := p.Permutation()
+	n := p.N()
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i) * 1.25
+	}
+	fwd := make([]float64, n)
+	PermuteVec(fwd, src, perm)
+	back := make([]float64, n)
+	InvPermuteVec(back, fwd, perm)
+	for i := range src {
+		if src[i] != back[i] {
+			t.Fatalf("round trip lost element %d: %g vs %g", i, back[i], src[i])
+		}
+	}
+	iperm := InvertPerm(perm)
+	for i, v := range perm {
+		if iperm[v] != int32(i) {
+			t.Fatalf("InvertPerm broken at %d", i)
+		}
+	}
+}
+
+// MulVec on the permuted system must equal the permuted product of the
+// original system (up to nothing — same multiplications, same order per
+// row? No: per-row term order changes, so compare within float slack).
+func TestPermutedMulVecConsistent(t *testing.T) {
+	b, p := gridPattern(9, 7)
+	m := p.NewCSR()
+	p.Scatter(m.Val, b.RawVals())
+	perm := p.Permutation()
+	pm := m.Permute(perm)
+	n := m.N
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	px := make([]float64, n)
+	PermuteVec(px, x, perm)
+	y := make([]float64, n)
+	m.MulVec(y, x)
+	py := make([]float64, n)
+	pm.MulVec(py, px)
+	yBack := make([]float64, n)
+	InvPermuteVec(yBack, py, perm)
+	for i := range y {
+		if d := math.Abs(y[i] - yBack[i]); d > 1e-12*(1+math.Abs(y[i])) {
+			t.Fatalf("product differs at %d: %g vs %g", i, yBack[i], y[i])
+		}
+	}
+}

@@ -107,7 +107,13 @@ type Pattern struct {
 // order can be Scattered through it.
 func (b *Builder) Freeze() *Pattern {
 	type key struct{ r, c int32 }
-	// Sort stamps by (row, col); duplicates merge in sorted order.
+	// Sort stamps by (row, col, stamp index). The stamp-index tie-break
+	// makes the order total: duplicates of one coordinate always merge in
+	// stamping order, no matter how the sort algorithm partitions equal
+	// keys. Without it, sort.Slice's unstable equal-key handling decided
+	// the float summation order of duplicate stamps — unspecified behavior
+	// that the bit-identical Compress/Scatter contract and the byte-pinned
+	// golden corpus silently depended on.
 	idx := make([]int, len(b.vals))
 	for i := range idx {
 		idx[i] = i
@@ -117,7 +123,10 @@ func (b *Builder) Freeze() *Pattern {
 		if b.rows[ia] != b.rows[ic] {
 			return b.rows[ia] < b.rows[ic]
 		}
-		return b.cols[ia] < b.cols[ic]
+		if b.cols[ia] != b.cols[ic] {
+			return b.cols[ia] < b.cols[ic]
+		}
+		return ia < ic
 	})
 
 	p := &Pattern{

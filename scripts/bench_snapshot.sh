@@ -32,14 +32,18 @@ bench_json() {
       name = $1
       sub(/-[0-9]+$/, "", name)
       iters = $2
-      nsop = bytesop = allocsop = "null"
+      nsop = bytesop = allocsop = solveiters = "null"
       for (i = 3; i <= NF; i++) {
-        if ($(i) == "ns/op")     nsop = $(i - 1)
-        if ($(i) == "B/op")      bytesop = $(i - 1)
-        if ($(i) == "allocs/op") allocsop = $(i - 1)
+        if ($(i) == "ns/op")       nsop = $(i - 1)
+        if ($(i) == "B/op")        bytesop = $(i - 1)
+        if ($(i) == "allocs/op")   allocsop = $(i - 1)
+        # CG benchmarks report their convergence story; committing it
+        # lets CI gate on iteration-count regressions (exact integers,
+        # deterministic kernels) rather than on noisy wall time.
+        if ($(i) == "iters/solve") solveiters = int($(i - 1))
       }
-      line = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                     pkg, name, iters, nsop, bytesop, allocsop)
+      line = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"iters_per_solve\": %s}",
+                     pkg, name, iters, nsop, bytesop, allocsop, solveiters)
       bench[n++] = line
     }
     END {
@@ -52,7 +56,7 @@ bench_json() {
 }
 
 bench_json "./internal/solve ./internal/rmesh" \
-  'BenchmarkCG_IC0|BenchmarkValueSweep|BenchmarkRestamp$|BenchmarkBuildTopology' \
+  'BenchmarkCG_IC0|BenchmarkCG_AMG|BenchmarkAMGSetup|BenchmarkValueSweep|BenchmarkRestamp$|BenchmarkBuildTopology' \
   BENCH_solver.json
 
 bench_json "./internal/serve" 'BenchmarkAnalyze' BENCH_serve.json

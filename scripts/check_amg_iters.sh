@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI guard for the cg-amg convergence trajectory: re-runs the CG
+# benchmarks and fails if any cg-amg iteration count exceeds the count
+# committed in BENCH_solver.json. Iteration counts are exact integers from
+# deterministic kernels (unlike wall time), so the comparison is strict:
+# a numerical change to the aggregation, the smoother, or the underlying
+# sparse layer that costs even one extra iteration turns the job red and
+# must be acknowledged by refreshing the snapshot.
+#
+# Usage: scripts/check_amg_iters.sh [snapshot.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SNAPSHOT="${1:-BENCH_solver.json}"
+[ -f "$SNAPSHOT" ] || { echo "check_amg_iters: no snapshot at $SNAPSHOT" >&2; exit 1; }
+
+out="$(go test ./internal/solve -run '^$' -bench 'BenchmarkCG_AMG' -benchtime 1x)"
+echo "$out"
+
+status=0
+while read -r name iters; do
+  committed=$(awk -v n="$name" -F'[,{}]' '
+    $0 ~ "\"name\": \"" n "\"" {
+      for (i = 1; i <= NF; i++)
+        if ($i ~ /"iters_per_solve":/) { split($i, kv, ":"); gsub(/ /, "", kv[2]); print kv[2] }
+    }' "$SNAPSHOT")
+  if [ -z "$committed" ] || [ "$committed" = "null" ]; then
+    echo "check_amg_iters: $name has no committed iters_per_solve in $SNAPSHOT" >&2
+    status=1
+    continue
+  fi
+  if [ "$iters" -gt "$committed" ]; then
+    echo "check_amg_iters: $name regressed: $iters iterations vs committed $committed" >&2
+    status=1
+  else
+    echo "check_amg_iters: $name ok: $iters iterations (committed $committed)"
+  fi
+done < <(echo "$out" | awk '$1 ~ /^BenchmarkCG_AMG/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  for (i = 3; i <= NF; i++) if ($(i) == "iters/solve") print name, int($(i - 1))
+}')
+
+exit $status
