@@ -14,6 +14,8 @@
 //	pdnbench -regen          rewrite the committed corpus goldens
 //	pdnbench -export DIR     write each corpus mesh as a SPICE deck
 //	pdnbench -import GLOB    run external SPICE decks through the harness
+//	pdnbench -convergence    add the per-family iteration/κ table and
+//	                         snapshot section (solve flight recorder)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,6 +46,7 @@ func main() {
 		solvers  = flag.String("solvers", "", "comma-separated solver methods (default: every registered method)")
 		maxN     = flag.Int("max-nodes", diff.DefaultOracleMaxN, "largest system the dense Cholesky oracle factorizes")
 		workers  = flag.Int("workers", 0, "solver worker pool bound (0: GOMAXPROCS)")
+		conv     = flag.Bool("convergence", false, "print the per-family convergence table and commit it into the snapshot")
 	)
 	flag.Parse()
 	if *importGl != "" {
@@ -56,13 +60,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*list, *regen, *dir, *exportTo, *out, *long, *solvers, *maxN, *workers); err != nil {
+	if err := run(*list, *regen, *dir, *exportTo, *out, *long, *conv, *solvers, *maxN, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pdnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list, regen bool, dir, exportTo, out string, long bool, solvers string, maxN, workers int) error {
+func run(list, regen bool, dir, exportTo, out string, long, conv bool, solvers string, maxN, workers int) error {
 	if regen {
 		if err := gen.WriteCorpus(dir); err != nil {
 			return err
@@ -130,6 +134,14 @@ func run(list, regen bool, dir, exportTo, out string, long bool, solvers string,
 	if snap.MaxRelErr > diff.OracleRelTol && snap.OracleMeshes == snap.Meshes {
 		return fmt.Errorf("solver disagreement %.3e above the %.0e oracle bound", snap.MaxRelErr, diff.OracleRelTol)
 	}
+	if conv {
+		snap.Convergence = convergenceRows(snap.Reports)
+		fmt.Printf("\n%-8s %-12s %5s %10s %12s\n", "family", "method", "runs", "max_iters", "max_cond_est")
+		for _, row := range snap.Convergence {
+			fmt.Printf("%-8s %-12s %5d %10d %12.4g\n",
+				row.Family, row.Method, row.Runs, row.MaxIters, row.MaxCondEst)
+		}
+	}
 
 	if out != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")
@@ -150,17 +162,85 @@ func run(list, regen bool, dir, exportTo, out string, long bool, solvers string,
 // It carries no timestamps or host data; error magnitudes can wiggle in
 // the last digits with the worker count's reduction order.
 type Snapshot struct {
-	CorpusSize         int                `json:"corpus_size"`
-	Meshes             int                `json:"meshes_checked"`
-	OracleMeshes       int                `json:"oracle_meshes"`
-	Solvers            []string           `json:"solvers"`
-	SolverRuns         int                `json:"solver_runs"`
-	MaxRelErr          float64            `json:"max_rel_err"`
-	MaxResidual        float64            `json:"max_residual"`
-	MaxRoundTripRelErr float64            `json:"max_roundtrip_rel_err"`
-	AllRestampExact    bool               `json:"all_restamp_exact"`
-	AllStructEqual     bool               `json:"all_roundtrip_struct_equal"`
-	Reports            []*diff.MeshReport `json:"meshes"`
+	CorpusSize         int      `json:"corpus_size"`
+	Meshes             int      `json:"meshes_checked"`
+	OracleMeshes       int      `json:"oracle_meshes"`
+	Solvers            []string `json:"solvers"`
+	SolverRuns         int      `json:"solver_runs"`
+	MaxRelErr          float64  `json:"max_rel_err"`
+	MaxResidual        float64  `json:"max_residual"`
+	MaxRoundTripRelErr float64  `json:"max_roundtrip_rel_err"`
+	AllRestampExact    bool     `json:"all_restamp_exact"`
+	AllStructEqual     bool     `json:"all_roundtrip_struct_equal"`
+	// Convergence is the per-family × per-method envelope of the solve
+	// flight recorder's columns (-convergence mode only): the worst cold
+	// iteration count and condition estimate per corpus family, so a
+	// conditioning regression in one design family diffs as its own row.
+	Convergence []FamilyConvergence `json:"convergence,omitempty"`
+	Reports     []*diff.MeshReport  `json:"meshes"`
+}
+
+// FamilyConvergence is one convergence-section row. Cold runs only: warm
+// iteration counts depend on the seeding scenario, not the operator.
+type FamilyConvergence struct {
+	Family     string  `json:"family"`
+	Method     string  `json:"method"`
+	Runs       int     `json:"runs"`
+	MaxIters   int     `json:"max_iterations"`
+	MaxCondEst float64 `json:"max_cond_est"`
+}
+
+// convergenceRows aggregates the reports' cold runs by corpus family and
+// solver method, sorted for a stable committed snapshot.
+func convergenceRows(reports []*diff.MeshReport) []FamilyConvergence {
+	type key struct{ family, method string }
+	rows := map[key]*FamilyConvergence{}
+	for _, rep := range reports {
+		fam := familyOf(rep.Name)
+		for _, r := range rep.Runs {
+			if r.Warm {
+				continue
+			}
+			k := key{fam, r.Method}
+			row := rows[k]
+			if row == nil {
+				row = &FamilyConvergence{Family: fam, Method: r.Method}
+				rows[k] = row
+			}
+			row.Runs++
+			if r.Iterations > row.MaxIters {
+				row.MaxIters = r.Iterations
+			}
+			if r.CondEst > row.MaxCondEst {
+				row.MaxCondEst = r.CondEst
+			}
+		}
+	}
+	out := make([]FamilyConvergence, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// familyOf maps a mesh name to its corpus family: the leading alphabetic
+// run of the name ("grid0-ddr3" → "grid", "tsv1-hmc-edge" → "tsv").
+func familyOf(name string) string {
+	for i, r := range name {
+		if r < 'a' || r > 'z' {
+			if i == 0 {
+				return name
+			}
+			return name[:i]
+		}
+	}
+	return name
 }
 
 func (s *Snapshot) add(rep *diff.MeshReport) {

@@ -1,8 +1,9 @@
 // Command pdnserve serves the IR-drop analysis stack over HTTP/JSON:
 // POST /v1/analyze (one query), POST /v1/batch (fan-out), POST /v1/lut
 // (look-up-table build/probe), GET /healthz, GET /metrics, GET
-// /debug/requests (recent and slowest request traces). See
-// internal/serve for the request schema and the caching, admission,
+// /debug/requests (recent and slowest request traces), and GET
+// /debug/solves (recent and worst-by-iterations solve flight records).
+// See internal/serve for the request schema and the caching, admission,
 // tracing, and determinism contracts.
 //
 // All process output is structured log events on stderr — one line per
@@ -47,6 +48,9 @@ func main() {
 	logFormat := flag.String("log-format", obs.LogText, "log output format: text or json")
 	traceBuf := flag.Int("trace-buf", 0, "request traces retained for /debug/requests, per recent/slowest buffer (<= 0: default)")
 	noTrace := flag.Bool("no-trace", false, "disable request tracing (X-Trace-Id is still issued; /debug/requests stays empty)")
+	solveBuf := flag.Int("solve-buf", 0, "solve records retained for /debug/solves, per recent/worst buffer (<= 0: default)")
+	noSolveRec := flag.Bool("no-solve-rec", false, "disable the solve flight recorder (/debug/solves stays empty; solve histograms are not registered)")
+	healthInterval := flag.Duration("health-interval", obs.DefaultHealthInterval, "runtime-health gauge sampling period (0: disable the sampler)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat)
@@ -63,19 +67,28 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		Workers:        *workers,
-		Solver:         *solver,
-		MeshPitch:      *pitch,
-		MaxInFlight:    *maxInflight,
-		QueueWait:      *queueWait,
-		CacheSize:      *cacheSize,
-		TopoCacheSize:  *topoCache,
-		WarmStart:      *warmStart,
-		MaxBatch:       *maxBatch,
-		TraceBufSize:   *traceBuf,
-		DisableTracing: *noTrace,
-		Log:            logger,
+		Workers:             *workers,
+		Solver:              *solver,
+		MeshPitch:           *pitch,
+		MaxInFlight:         *maxInflight,
+		QueueWait:           *queueWait,
+		CacheSize:           *cacheSize,
+		TopoCacheSize:       *topoCache,
+		WarmStart:           *warmStart,
+		MaxBatch:            *maxBatch,
+		TraceBufSize:        *traceBuf,
+		DisableTracing:      *noTrace,
+		SolveBufSize:        *solveBuf,
+		DisableSolveRecords: *noSolveRec,
+		Log:                 logger,
 	})
+	if *healthInterval > 0 {
+		// Runtime-health gauges (heap, goroutines, GC/scheduler pause p99s)
+		// are info metrics on the server registry; the sampler runs for the
+		// process lifetime and stops when drain completes.
+		stopHealth := s.Registry().StartHealthSampler(*healthInterval)
+		defer stopHealth()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 5 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -19,6 +19,7 @@ import (
 	"pdn3d/internal/bench/gen"
 	"pdn3d/internal/irdrop"
 	"pdn3d/internal/memstate"
+	"pdn3d/internal/obs"
 	"pdn3d/internal/powermap"
 	"pdn3d/internal/rmesh"
 	"pdn3d/internal/solve"
@@ -103,6 +104,14 @@ type Run struct {
 	// RelErr is the ∞-norm relative error against the mesh's reference
 	// solution.
 	RelErr float64 `json:"rel_err"`
+	// CondEst is the CG-Lanczos condition estimate of the preconditioned
+	// operator, captured from the solve flight recorder (0 for direct
+	// methods and degenerate trajectories), and Termination is the
+	// recorder's exit classification. Both are committed into the
+	// convergence snapshot so a conditioning or termination regression
+	// diffs like any other column.
+	CondEst     float64 `json:"cond_est,omitempty"`
+	Termination string  `json:"termination,omitempty"`
 }
 
 // RoundTrip reports the SPICE netlist round-trip leg of a mesh check.
@@ -184,6 +193,10 @@ func Check(s *gen.Spec, opt Options) (*MeshReport, error) {
 		ref = x
 	}
 
+	// Every checked run records into a harness-local flight-recorder
+	// buffer so its condition estimate and termination class land in the
+	// report alongside the error columns.
+	buf := obs.NewSolveBuffer(1)
 	for _, method := range opt.methods() {
 		if method == solve.MethodCholesky && !dense {
 			continue // O(n³) dense factorization above the oracle cap
@@ -193,7 +206,10 @@ func Check(s *gen.Spec, opt Options) (*MeshReport, error) {
 			if warm {
 				o.X0 = warmSeed
 			}
+			rec := buf.StartSolveRecord()
+			o.Rec = rec
 			x, stats, err := m.Solve(rhs, solve.Options{Method: method, Workers: opt.Workers, CGOptions: o})
+			rec.Commit()
 			if err != nil {
 				return nil, fmt.Errorf("diff %s: %s (warm=%v): %w", s.Name, method, warm, err)
 			}
@@ -205,6 +221,10 @@ func Check(s *gen.Spec, opt Options) (*MeshReport, error) {
 				Precond:    stats.Precond,
 				Fallback:   stats.Fallback,
 				RelErr:     RelErr(x, ref),
+			}
+			if recent, _, _ := buf.Snapshot(); len(recent) > 0 {
+				run.CondEst = recent[0].CondEst
+				run.Termination = recent[0].Termination
 			}
 			rep.Runs = append(rep.Runs, run)
 			if run.RelErr > rep.MaxRelErr {

@@ -45,6 +45,12 @@ type Analyzer struct {
 	// outputs are promised (golden tables, the serve determinism
 	// contract). Set it before the first Analyze call.
 	Warm *WarmStart
+	// SolveRecords, when non-nil, receives a flight record of every nodal
+	// solve this analyzer runs — trajectory, coefficients, condition
+	// estimate, termination — linked to the request trace when one is in
+	// ctx. Recording never changes analysis results. Set it before the
+	// first Analyze call.
+	SolveRecords *obs.SolveBuffer
 
 	results par.Group[*Result]
 	solves  atomic.Int64
@@ -318,8 +324,14 @@ func (a *Analyzer) analyzeOpts(ctx context.Context, state memstate.State, io flo
 			solveSpan.Annotate(obs.A("warm", true))
 		}
 	}
+	rec := a.SolveRecords.StartSolveRecord()
+	rec.SetTrace(obs.TraceFrom(ctx).ID())
+	opts.Rec = rec
 	v, stats, err := m.Solve(rhs, opts)
 	solveSpan.End()
+	// Commit on the error path too: a failed or cancelled solve is exactly
+	// the record /debug/solves exists to surface.
+	rec.Commit()
 	if err != nil {
 		return nil, fmt.Errorf("irdrop: %s state %s: %w", spec.Name, state, err)
 	}

@@ -15,7 +15,12 @@
 //   - a span obtained from Trace.Span or TraceSpan.Child is ended on
 //     every return path — a forward may-analysis over the function's
 //     CFG; handing the span to another function, storing it, or
-//     returning it transfers the obligation and ends tracking.
+//     returning it transfers the obligation and ends tracking,
+//   - a solve recorder obtained from SolveBuffer.StartSolveRecord is
+//     committed on every return path — the same may-analysis, closing
+//     on Commit instead of End. An uncommitted recorder silently drops
+//     the solve from /debug/solves, which is exactly the record a
+//     failed or cancelled solve needs.
 //
 // Test files are exempt: tests deliberately provoke the runtime panics
 // these rules prevent.
@@ -36,8 +41,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "obscontract",
 	Doc: "enforces obs conventions: metric names match [a-z0-9_.]+ and keep " +
-		"one kind module-wide, counters never Add negative constants, and " +
-		"every span from Trace.Span/TraceSpan.Child is ended on all return paths",
+		"one kind module-wide, counters never Add negative constants, " +
+		"every span from Trace.Span/TraceSpan.Child is ended on all return paths, " +
+		"and every recorder from SolveBuffer.StartSolveRecord is committed on all return paths",
 	Run:       run,
 	UsesFacts: true,
 }
@@ -264,13 +270,31 @@ func checkSpans(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 	}
 	for obj, at := range leaked {
+		if isRecorderObj(obj) {
+			pass.Reportf(at.Pos(),
+				"solve recorder %s is not committed on every return path; call Commit (or defer it) before returning", obj.Name())
+			continue
+		}
 		pass.Reportf(at.Pos(),
 			"span %s is not ended on every return path; call End (or defer it) before returning", obj.Name())
 	}
 }
 
-// isSpanConstructor reports whether e creates a span: a call to
-// Trace.Span or TraceSpan.Child.
+// isRecorderObj reports whether obj is a *obs.SolveRecorder local — the
+// tracked kind that closes on Commit rather than End.
+func isRecorderObj(obj types.Object) bool {
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "SolveRecorder" &&
+		named.Obj().Pkg() != nil && isObsPath(named.Obj().Pkg().Path())
+}
+
+// isSpanConstructor reports whether e creates a tracked obligation: a
+// span from Trace.Span or TraceSpan.Child, or a solve recorder from
+// SolveBuffer.StartSolveRecord.
 func isSpanConstructor(info *types.Info, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
@@ -280,6 +304,9 @@ func isSpanConstructor(info *types.Info, e ast.Expr) bool {
 		return true
 	}
 	if fn := obsMethod(info, call, "TraceSpan"); fn != nil && fn.Name() == "Child" {
+		return true
+	}
+	if fn := obsMethod(info, call, "SolveBuffer"); fn != nil && fn.Name() == "StartSolveRecord" {
 		return true
 	}
 	return false
@@ -326,13 +353,14 @@ func spanEffects(info *types.Info, n ast.Node) (opens map[types.Object]ast.Expr,
 					closes = append(closes, escapedSpans(info, rhs)...)
 				}
 			case *ast.CallExpr:
-				// s.End() closes s. Other method calls on s (Annotate,
-				// Child, Dur) neither close nor escape it. Any use of a
-				// tracked span in argument position escapes it.
+				// s.End() closes a span, r.Commit() a recorder. Other
+				// method calls on the receiver (Annotate, Child, Dur,
+				// RecordIter) neither close nor escape it. Any use of a
+				// tracked value in argument position escapes it.
 				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
 					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
 						if obj := localVar(info, id); obj != nil {
-							if sel.Sel.Name == "End" {
+							if sel.Sel.Name == "End" || sel.Sel.Name == "Commit" {
 								closes = append(closes, obj)
 							}
 							for _, arg := range m.Args {

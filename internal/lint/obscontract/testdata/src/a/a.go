@@ -70,6 +70,47 @@ func childLeak(t *obs.Trace, fail bool) error {
 	return nil
 }
 
+// recorderLeak forgets the Commit on the error path — the record (and
+// the failed solve it describes) would silently vanish from /debug/solves.
+func recorderLeak(b *obs.SolveBuffer, fail bool) error {
+	rec := b.StartSolveRecord() // want `solve recorder rec is not committed on every return path`
+	if fail {
+		return errFail
+	}
+	rec.Commit()
+	return nil
+}
+
+// recorderCommitted commits on both paths; RecordIter neither closes
+// nor escapes the recorder.
+func recorderCommitted(b *obs.SolveBuffer, fail bool) error {
+	rec := b.StartSolveRecord()
+	rec.RecordIter(1, 0.5)
+	rec.Commit()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// recorderDeferred is the idiomatic clean shape.
+func recorderDeferred(b *obs.SolveBuffer, fail bool) error {
+	rec := b.StartSolveRecord()
+	defer rec.Commit()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// recorderHandoff transfers the Commit obligation to the callee.
+func recorderHandoff(b *obs.SolveBuffer) {
+	rec := b.StartSolveRecord()
+	commitRec(rec)
+}
+
+func commitRec(r *obs.SolveRecorder) { r.Commit() }
+
 // waived shows the escape hatch covering a multi-line statement: the
 // directive suppresses the finding on the argument line below it.
 func waived(r *obs.Registry) {

@@ -48,3 +48,15 @@ func (s *TraceSpan) Child(name string) *TraceSpan { return &TraceSpan{} }
 func (s *TraceSpan) End() {}
 
 func (s *TraceSpan) Annotate(k, v string) {}
+
+// SolveBuffer mirrors the solve flight-record buffer.
+type SolveBuffer struct{}
+
+// SolveRecorder mirrors the per-solve recorder.
+type SolveRecorder struct{}
+
+func (b *SolveBuffer) StartSolveRecord() *SolveRecorder { return &SolveRecorder{} }
+
+func (r *SolveRecorder) RecordIter(alpha, res float64) {}
+
+func (r *SolveRecorder) Commit() {}

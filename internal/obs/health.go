@@ -1,0 +1,129 @@
+package obs
+
+// Runtime-health sampling: a background poll of runtime/metrics into
+// info gauges. Heap size, goroutine count, GC cycles, GC pause p99, and
+// scheduler latency p99 are exactly the signals that separate "the solve
+// is slow" from "the process is unhealthy" when reading /debug/solves —
+// but every one of them depends on run conditions, so they are info
+// gauges, excluded from Deterministic() snapshots by construction.
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// DefaultHealthInterval is the sampling period when the caller passes a
+// non-positive interval to StartHealthSampler.
+const DefaultHealthInterval = 5 * time.Second
+
+// healthSamples maps the runtime/metrics names we poll onto registry
+// gauge names. Histogram-kind samples are reduced to their p99 and
+// reported in milliseconds.
+var healthSamples = []struct {
+	runtime string
+	gauge   string
+}{
+	{"/memory/classes/heap/objects:bytes", "health.heap_bytes"},
+	{"/sched/goroutines:goroutines", "health.goroutines"},
+	{"/gc/cycles/total:gc-cycles", "health.gc_cycles"},
+	{"/gc/pauses:seconds", "health.gc_pause_p99_ms"},
+	{"/sched/latencies:seconds", "health.sched_latency_p99_ms"},
+}
+
+// StartHealthSampler polls runtime/metrics every interval into the
+// registry's health.* info gauges and returns a stop function (safe to
+// call more than once; it blocks until the sampler goroutine exits).
+// The first sample is taken synchronously, so the gauges exist and hold
+// real values before this returns. interval <= 0 selects
+// DefaultHealthInterval. On a nil registry nothing starts and the stop
+// function is a no-op.
+func (r *Registry) StartHealthSampler(interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	gauges := make([]*Gauge, len(healthSamples))
+	samples := make([]metrics.Sample, len(healthSamples))
+	for i, hs := range healthSamples {
+		gauges[i] = r.InfoGauge(hs.gauge)
+		samples[i].Name = hs.runtime
+	}
+	sampleHealth(samples, gauges)
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	//pdnlint:ignore rawgo the health sampler is process-lifetime background polling, not bounded analysis work; internal/par pools would block on it
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				sampleHealth(samples, gauges)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}
+
+// sampleHealth reads the runtime metrics and stores them into the
+// paired gauges, reducing histogram kinds to p99 milliseconds.
+func sampleHealth(samples []metrics.Sample, gauges []*Gauge) {
+	metrics.Read(samples)
+	for i := range samples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			gauges[i].Set(float64(samples[i].Value.Uint64()))
+		case metrics.KindFloat64:
+			gauges[i].Set(samples[i].Value.Float64())
+		case metrics.KindFloat64Histogram:
+			gauges[i].Set(histP99(samples[i].Value.Float64Histogram()) * 1e3)
+		}
+	}
+}
+
+// histP99 returns the 99th-percentile upper bound of a runtime/metrics
+// histogram in the metric's native unit (seconds for the ones we poll).
+// Returns 0 for an empty histogram.
+func histP99(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(float64(total) * 0.99)
+	if thresh < 1 {
+		thresh = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			// Bucket i spans (Buckets[i], Buckets[i+1]]; report the upper
+			// bound, falling back to the finite lower bound when the p99
+			// lands in the +Inf overflow bucket.
+			hi := h.Buckets[i+1]
+			//pdnlint:ignore floateq exact bit tests: self-compare detects NaN, bound-compare detects a degenerate zero-width bucket
+			if hi > 1e18 || hi != hi || hi == h.Buckets[i] {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthSamplerGaugesAreInfoOnly(t *testing.T) {
+	r := NewRegistry()
+	stop := r.StartHealthSampler(time.Hour) // one synchronous sample only
+	defer stop()
+
+	snap := r.Snapshot()
+	for _, hs := range healthSamples {
+		key := hs.gauge + " (info)"
+		if _, ok := snap.Gauges[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
+		}
+	}
+	if v := snap.Gauges["health.heap_bytes (info)"]; v <= 0 {
+		t.Errorf("health.heap_bytes = %g, want > 0 from the synchronous prime", v)
+	}
+	if v := snap.Gauges["health.goroutines (info)"]; v < 1 {
+		t.Errorf("health.goroutines = %g, want >= 1", v)
+	}
+
+	// Deterministic snapshots must carry no health gauge at all.
+	det := snap.Deterministic()
+	for name := range det.Gauges {
+		if strings.HasPrefix(name, "health.") {
+			t.Errorf("deterministic snapshot leaked health gauge %q", name)
+		}
+	}
+}
+
+func TestHealthSamplerStopIdempotent(t *testing.T) {
+	r := NewRegistry()
+	stop := r.StartHealthSampler(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // second stop must not panic or hang
+
+	var nilReg *Registry
+	nilStop := nilReg.StartHealthSampler(time.Millisecond)
+	nilStop() // nil registry: no sampler, stop is a no-op
+}
+
+func TestHistP99(t *testing.T) {
+	// 100 observations: 99 in (0, 1], 1 in (1, 2] → p99 upper bound 1.
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{99, 1},
+		Buckets: []float64{0, 1, 2},
+	}
+	if got := histP99(h); got != 1 {
+		t.Fatalf("histP99 = %g, want 1", got)
+	}
+	// All mass in the overflow bucket falls back to its finite lower
+	// bound instead of +Inf.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 7},
+		Buckets: []float64{0, 1, 1e300},
+	}
+	if got := histP99(inf); got != 1 {
+		t.Fatalf("histP99 overflow fallback = %g, want 1", got)
+	}
+	if got := histP99(&metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}); got != 0 {
+		t.Fatalf("histP99 empty = %g, want 0", got)
+	}
+	if got := histP99(nil); got != 0 {
+		t.Fatalf("histP99 nil = %g, want 0", got)
+	}
+}

@@ -22,6 +22,17 @@ import (
 // what keep scrape series stable across deploys.
 var latencyBoundsMS = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 
+// solveIterBounds and solveCondBounds are the fixed bucket bounds of the
+// per-solve iteration-count and condition-estimate histograms
+// ("serve.solve.iterations" / "serve.solve.cond_est"). Iterations span
+// warm-start zero-iteration hits through stalled runs; condition
+// estimates are log-spaced across the well-conditioned-to-pathological
+// range the corpus produces.
+var (
+	solveIterBounds = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	solveCondBounds = []float64{1, 3, 10, 30, 100, 300, 1e3, 3e3, 1e4, 3e4, 1e5, 1e6}
+)
+
 // trackedStatuses are the response codes carrying their own counter;
 // anything else lands in status_other.
 var trackedStatuses = []int{200, 400, 405, 413, 422, 429, 500, 503}
@@ -161,6 +172,63 @@ func round3(ms float64) float64 {
 	return float64(int64(ms*1000+0.5)) / 1000
 }
 
+// Shared plumbing for the /debug/* endpoints. Both endpoints speak the
+// same dialect: GET only (405 otherwise), ?id= for a single record (404
+// with the /v1/* JSON error envelope when not retained), ?limit=N to
+// truncate each retention list — N must be a positive integer: a
+// non-integer is a 400, a non-positive integer a 422 (it parsed fine but
+// asks for an empty or negative view, which is never what a debugging
+// client wants). The contract is pinned by TestDebugLimitContract.
+
+// requireDebugGet rejects non-GET debug requests with the shared
+// envelope; it reports whether the handler may proceed.
+func requireDebugGet(w http.ResponseWriter, req *http.Request) bool {
+	if req.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires GET", req.URL.Path))
+		return false
+	}
+	return true
+}
+
+// debugLimit parses the shared ?limit= parameter: -1 (no truncation)
+// when absent, the value when a positive integer, and ok=false after
+// writing the 400/422 envelope otherwise.
+func debugLimit(w http.ResponseWriter, req *http.Request) (limit int, ok bool) {
+	raw := req.URL.Query().Get("limit")
+	if raw == "" {
+		return -1, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: limit %q must be an integer", raw))
+		return 0, false
+	}
+	if n <= 0 {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("serve: limit %d must be positive", n))
+		return 0, false
+	}
+	return n, true
+}
+
+// debugNotFound writes the shared 404 envelope for an id that is not
+// retained. what names the record kind ("trace", "solve record").
+func debugNotFound(w http.ResponseWriter, what, id string) {
+	writeErr(w, http.StatusNotFound, fmt.Errorf("serve: %s %s not retained (aged out or unknown)", what, id))
+}
+
+// truncate caps a retention list at limit entries; limit < 0 keeps all.
+// Lists are ordered most-interesting first (newest / slowest / worst),
+// so truncation keeps the entries a capped client wants.
+func truncate[T any](list []T, limit int) []T {
+	if list == nil {
+		list = []T{}
+	}
+	if limit >= 0 && limit < len(list) {
+		list = list[:limit]
+	}
+	return list
+}
+
 // debugRequestsBody is the /debug/requests response shape.
 type debugRequestsBody struct {
 	// Added counts every trace ever offered to the buffer; Added minus
@@ -178,46 +246,71 @@ type debugRequestsBody struct {
 // aged out or never existed). Errors use the same JSON envelope as the
 // /v1/* endpoints.
 func (s *Server) handleDebugRequests(w http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires GET", req.URL.Path))
+	if !requireDebugGet(w, req) {
 		return
 	}
 	if id := req.URL.Query().Get("id"); id != "" {
 		ts, ok := s.traces.Find(id)
 		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("serve: trace %s not retained (aged out or unknown)", id))
+			debugNotFound(w, "trace", id)
 			return
 		}
 		writeJSON(w, http.StatusOK, &ts)
 		return
 	}
-	limit := -1
-	if raw := req.URL.Query().Get("limit"); raw != "" {
-		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: limit %q must be a non-negative integer", raw))
-			return
-		}
-		limit = n
+	limit, ok := debugLimit(w, req)
+	if !ok {
+		return
 	}
 	recent, slowest, added := s.traces.Snapshot()
-	if recent == nil {
-		recent = []obs.TraceSnapshot{}
+	writeJSON(w, http.StatusOK, &debugRequestsBody{
+		Added:   added,
+		Recent:  truncate(recent, limit),
+		Slowest: truncate(slowest, limit),
+	})
+}
+
+// debugSolvesBody is the /debug/solves response shape.
+type debugSolvesBody struct {
+	// Added counts every solve record ever committed to the buffer; Added
+	// minus the retained count is how many have aged out.
+	Added int64 `json:"added"`
+	// Recent holds the newest solve records, newest first.
+	Recent []obs.SolveRecord `json:"recent"`
+	// Worst holds the records with the highest iteration counts seen,
+	// worst first.
+	Worst []obs.SolveRecord `json:"worst"`
+}
+
+// handleDebugSolves serves the retained solve flight records: the
+// recent+worst-by-iterations buffers (?limit=N truncates each list), or
+// one record with ?id=. The id accepts either a solve ID ("s-12") or a
+// trace ID — the latter returns the most recent solve that request ran,
+// so a trace from /debug/requests leads straight to its solve. With
+// recording disabled the endpoint stays up and serves empty lists.
+func (s *Server) handleDebugSolves(w http.ResponseWriter, req *http.Request) {
+	if !requireDebugGet(w, req) {
+		return
 	}
-	if slowest == nil {
-		slowest = []obs.TraceSnapshot{}
-	}
-	// Both lists are ordered most-interesting first (newest / slowest), so
-	// truncation keeps the entries a capped client wants.
-	if limit >= 0 {
-		if limit < len(recent) {
-			recent = recent[:limit]
+	if id := req.URL.Query().Get("id"); id != "" {
+		rec, ok := s.solves.Find(id)
+		if !ok {
+			debugNotFound(w, "solve record", id)
+			return
 		}
-		if limit < len(slowest) {
-			slowest = slowest[:limit]
-		}
+		writeJSON(w, http.StatusOK, &rec)
+		return
 	}
-	writeJSON(w, http.StatusOK, &debugRequestsBody{Added: added, Recent: recent, Slowest: slowest})
+	limit, ok := debugLimit(w, req)
+	if !ok {
+		return
+	}
+	recent, worst, added := s.solves.Snapshot()
+	writeJSON(w, http.StatusOK, &debugSolvesBody{
+		Added:  added,
+		Recent: truncate(recent, limit),
+		Worst:  truncate(worst, limit),
+	})
 }
 
 // wantsProm decides the /metrics representation: explicit ?format= wins,

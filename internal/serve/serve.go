@@ -101,6 +101,14 @@ type Config struct {
 	// phase spans are recorded, nothing reaches /debug/requests, and the
 	// solver layers see nil spans (their no-op path).
 	DisableTracing bool
+	// SolveBufSize bounds each /debug/solves retention class (the N most
+	// recent and N worst-by-iterations solve records); <= 0 selects
+	// obs.DefaultSolveBufferCap.
+	SolveBufSize int
+	// DisableSolveRecords turns off the solve flight recorder: solves run
+	// with a nil recorder (their no-op path), /debug/solves serves empty
+	// lists, and the iterations/condition histograms stay at zero.
+	DisableSolveRecords bool
 
 	// Log receives one structured access record per request; nil
 	// disables access logging.
@@ -148,9 +156,11 @@ type Server struct {
 	rejectedDraining       *obs.Counter
 
 	// Request-scoped observability: per-endpoint telemetry, the bounded
-	// trace retention behind /debug/requests, and the access log.
+	// trace retention behind /debug/requests, the solve flight-record
+	// retention behind /debug/solves, and the access log.
 	ep     map[string]*epMetrics
 	traces *obs.TraceBuffer
+	solves *obs.SolveBuffer
 	log    *obs.Logger
 }
 
@@ -198,6 +208,15 @@ func New(cfg Config) *Server {
 	s.rejectedDraining = s.reg.Counter("serve.admission.rejected_draining")
 
 	s.traces = obs.NewTraceBuffer(cfg.TraceBufSize)
+	if !cfg.DisableSolveRecords {
+		// Solve iteration counts and condition estimates are deterministic
+		// for one workload (the recorded shapes are worker-count-
+		// independent by the solver contract), so these histograms join
+		// the deterministic snapshot — unlike the wall-clock latency ones.
+		s.solves = obs.NewSolveBuffer(cfg.SolveBufSize)
+		s.solves.IterHist = s.reg.Histogram("serve.solve.iterations", solveIterBounds)
+		s.solves.CondHist = s.reg.Histogram("serve.solve.cond_est", solveCondBounds)
+	}
 	s.log = cfg.Log
 	s.ep = map[string]*epMetrics{
 		"analyze": newEPMetrics(s.reg, "analyze"),
@@ -211,6 +230,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/debug/solves", s.handleDebugSolves)
 	return s
 }
 
@@ -547,6 +567,9 @@ func (s *Server) analyzerFor(ctx context.Context, r *query.Resolved) (*irdrop.An
 		if s.cfg.WarmStart {
 			a.Warm = te.warm
 		}
+		// All designs share the server's one solve buffer (nil when
+		// recording is disabled — the analyzer's no-op path).
+		a.SolveRecords = s.solves
 		return a, nil
 	})
 	if err != nil {

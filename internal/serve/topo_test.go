@@ -122,36 +122,63 @@ func TestWarmStartDefaultOff(t *testing.T) {
 	}
 }
 
-// TestDebugRequestsLimit: ?limit=N truncates both buffers, limit=0 empties
-// them, and malformed limits get the standard JSON error envelope.
-func TestDebugRequestsLimit(t *testing.T) {
-	_, ts := newTestServer(t, Config{TraceBufSize: 8})
+// TestDebugLimitContract pins the ?limit= contract shared by both debug
+// endpoints: a positive integer truncates each retention list (never the
+// added total), a non-integer is a 400, and a non-positive integer a 422
+// — identically on /debug/requests and /debug/solves, both in the /v1/*
+// JSON error envelope.
+func TestDebugLimitContract(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceBufSize: 8, SolveBufSize: 8})
 	for i := 0; i < 3; i++ {
 		post(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"bench":"ddr3-off","state":"0-0-0-2","io":0.%d}`, i+1))
 	}
-	for _, tc := range []struct{ limit, want int }{{1, 1}, {2, 2}, {0, 0}, {100, 3}} {
-		_, body := getBody(t, fmt.Sprintf("%s/debug/requests?limit=%d", ts.URL, tc.limit))
-		var b debugRequestsBody
-		if err := json.Unmarshal(body, &b); err != nil {
+	// lists returns the two retention-list lengths and the added total of
+	// either debug body (the field names coincide except slowest/worst).
+	lists := func(body []byte) (a, b int, added int64) {
+		var parsed struct {
+			Added   int64             `json:"added"`
+			Recent  []json.RawMessage `json:"recent"`
+			Slowest []json.RawMessage `json:"slowest"`
+			Worst   []json.RawMessage `json:"worst"`
+		}
+		if err := json.Unmarshal(body, &parsed); err != nil {
 			t.Fatal(err)
 		}
-		if len(b.Recent) != tc.want || len(b.Slowest) != tc.want {
-			t.Errorf("limit=%d: recent=%d slowest=%d, want %d each", tc.limit, len(b.Recent), len(b.Slowest), tc.want)
-		}
-		if b.Added != 3 {
-			t.Errorf("limit=%d: added = %d, want 3 (limit must not hide the total)", tc.limit, b.Added)
-		}
+		return len(parsed.Recent), len(parsed.Slowest) + len(parsed.Worst), parsed.Added
 	}
-	for _, bad := range []string{"-1", "abc", "1.5"} {
-		resp, body := getBody(t, ts.URL+"/debug/requests?limit="+bad)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("limit=%q status = %d, want 400", bad, resp.StatusCode)
+	for _, endpoint := range []string{"/debug/requests", "/debug/solves"} {
+		for _, tc := range []struct{ limit, want int }{{1, 1}, {2, 2}, {100, 3}} {
+			resp, body := getBody(t, fmt.Sprintf("%s%s?limit=%d", ts.URL, endpoint, tc.limit))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s limit=%d status = %d: %s", endpoint, tc.limit, resp.StatusCode, body)
+			}
+			recent, second, added := lists(body)
+			if recent != tc.want || second != tc.want {
+				t.Errorf("%s limit=%d: recent=%d second=%d, want %d each", endpoint, tc.limit, recent, second, tc.want)
+			}
+			if added != 3 {
+				t.Errorf("%s limit=%d: added = %d, want 3 (limit must not hide the total)", endpoint, tc.limit, added)
+			}
 		}
-		var eb struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
-			t.Errorf("limit=%q error not in the JSON envelope: %s", bad, body)
+		for _, tc := range []struct {
+			raw  string
+			want int
+		}{
+			{"abc", http.StatusBadRequest},
+			{"1.5", http.StatusBadRequest},
+			{"0", http.StatusUnprocessableEntity},
+			{"-1", http.StatusUnprocessableEntity},
+		} {
+			resp, body := getBody(t, ts.URL+endpoint+"?limit="+tc.raw)
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s limit=%q status = %d, want %d", endpoint, tc.raw, resp.StatusCode, tc.want)
+			}
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Errorf("%s limit=%q error not in the JSON envelope: %s", endpoint, tc.raw, body)
+			}
 		}
 	}
 }

@@ -3,6 +3,8 @@ package solve
 import (
 	"fmt"
 	"testing"
+
+	"pdn3d/internal/obs"
 )
 
 // Benchmark systems are 2D grid Laplacians with one supply tie — the same
@@ -53,6 +55,38 @@ func BenchmarkCG_IC0(b *testing.B) { benchCG(b, MethodCGIC0) }
 // AMG's near-size-independent iteration counts versus cg-ic0's growth are
 // the committed evidence for the preconditioner's payoff at scale.
 func BenchmarkCG_AMG(b *testing.B) { benchCG(b, MethodCGAMG) }
+
+// BenchmarkCG_AMG_Recorded is BenchmarkCG_AMG with the flight recorder
+// attached. The spread between the two is the recorder's overhead; the
+// budget is ≤2% time and ≤8 allocs/op versus the unrecorded run.
+func BenchmarkCG_AMG_Recorded(b *testing.B) {
+	buf := obs.NewSolveBuffer(obs.DefaultSolveBufferCap)
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			a := grid2D(sz.nx, sz.ny)
+			s, err := New(a, Options{Method: MethodCGAMG, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := make([]float64, a.N)
+			rhs[a.N-1] = 0.1
+			rhs[a.N/2] = 0.05
+			b.ReportAllocs()
+			b.ResetTimer()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				rec := buf.StartSolveRecord()
+				_, st, err := s.Solve(rhs, CGOptions{Tol: 1e-8, Rec: rec})
+				rec.Commit()
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = st.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters/solve")
+		})
+	}
+}
 
 // BenchmarkAMGSetup isolates the hierarchy build (aggregation + Galerkin
 // products + coarse factorization) the Solver interface amortizes.

@@ -47,6 +47,15 @@ type CGOptions struct {
 	// different floating-point trajectory, so callers that promise
 	// byte-identical outputs must leave X0 nil. Direct methods ignore it.
 	X0 []float64
+	// Rec, when non-nil, is the flight recorder for this solve: the CG
+	// core feeds it the per-iteration α/β coefficients and residual
+	// trajectory and classifies the termination; the registry solvers
+	// stamp the method and preconditioner identity. The caller owns the
+	// recorder's Commit (enforced by the obscontract analyzer). Recording
+	// never changes the values a solve returns, and nothing recorded is
+	// wall-clock-derived — the captured shapes are identical for any
+	// worker count.
+	Rec *obs.SolveRecorder
 }
 
 // CGStats reports how a solve went.
@@ -156,6 +165,17 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 	}
 
 	stats := CGStats{}
+	termination := obs.TermError
+	if opt.Rec != nil {
+		opt.Rec.Begin(n)
+		// Deferred for the same reason as the span annotation below: every
+		// exit leaves the recorder carrying the true final story, and the
+		// recorder upgrades maxiter to stagnated when the residual had
+		// long stopped improving.
+		defer func() {
+			opt.Rec.Finish(stats.Iterations, stats.Residual, stats.Converged, termination)
+		}()
+	}
 	if opt.Span != nil {
 		// Deferred so every exit — converged, exhausted, canceled —
 		// leaves the trace span carrying the true iteration story. The
@@ -173,6 +193,7 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 	x := make([]float64, n)
 	if normB == 0 {
 		stats.Converged = true
+		termination = obs.TermConverged
 		return x, stats, nil
 	}
 
@@ -187,10 +208,16 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 		// only on this path — the cold path below is untouched, keeping
 		// its results bit-for-bit identical to the pre-warm-start solver.
 		copy(x, opt.X0)
+		if opt.Rec != nil {
+			// The seed norm costs one extra reduction, so only recorded
+			// solves pay for it.
+			opt.Rec.Warm(k.norm2(x))
+		}
 		k.mulVec(a, r, x)
 		k.xpby(r, -1, b)
 		if stats.Residual = k.norm2(r) / normB; stats.Residual <= tol {
 			stats.Converged = true
+			termination = obs.TermConverged
 			return x, stats, nil
 		}
 	} else {
@@ -206,6 +233,7 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 	for it := 0; it < maxIter; it++ {
 		if opt.Cancel != nil {
 			if err := opt.Cancel(); err != nil {
+				termination = obs.TermCancelled
 				return nil, stats, fmt.Errorf("solve: canceled at iteration %d: %w", it, err)
 			}
 		}
@@ -219,8 +247,10 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 		rNormSq := k.axpyNormSq(r, -alpha, ap)
 		stats.Iterations = it + 1
 		stats.Residual = math.Sqrt(rNormSq) / normB
+		opt.Rec.RecordIter(alpha, stats.Residual)
 		if stats.Residual <= tol {
 			stats.Converged = true
+			termination = obs.TermConverged
 			return x, stats, nil
 		}
 		pre.Apply(z, r)
@@ -228,7 +258,9 @@ func pcg(a *sparse.CSR, pre Preconditioner, b []float64, opt CGOptions, k kernel
 		beta := rzNew / rz
 		rz = rzNew
 		k.xpby(p, beta, z)
+		opt.Rec.RecordBeta(beta)
 	}
+	termination = obs.TermMaxIter
 	return x, stats, fmt.Errorf("%w after %d iterations (residual %.3e, tol %.3e)",
 		ErrNotConverged, stats.Iterations, stats.Residual, tol)
 }

@@ -201,6 +201,10 @@ func (s *cgSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, error)
 	if opt.X0 != nil {
 		s.m.warmStarts.Add(1)
 	}
+	// Stamp the solver identity before the solve so even a cancelled or
+	// failed record names the method and the preconditioner that really
+	// ran (fallback included).
+	opt.Rec.SetSolver(s.method, s.precond, s.fallback)
 	stop := s.m.solveTime.Start()
 	x, stats, err := pcg(s.a, s.pre, b, opt, s.k)
 	stop()
@@ -230,9 +234,14 @@ func (s *cholSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, erro
 	// A direct factorization gains nothing from a starting guess, so
 	// opt.X0 is ignored — exact solves are trivially "warm".
 	// The dense triangular solves have no iteration boundary to poll, so
-	// cancellation is honored only before the work starts.
+	// cancellation is honored only before the work starts. A recorded
+	// direct solve carries no iteration trajectory and no condition
+	// estimate — just identity, residual, and termination.
+	opt.Rec.Begin(s.a.N)
+	opt.Rec.SetSolver(MethodCholesky, "", false)
 	if opt.Cancel != nil {
 		if err := opt.Cancel(); err != nil {
+			opt.Rec.Finish(0, 0, false, obs.TermCancelled)
 			return nil, CGStats{}, fmt.Errorf("solve: canceled: %w", err)
 		}
 	}
@@ -241,6 +250,7 @@ func (s *cholSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, erro
 	stop()
 	if err != nil {
 		s.m.record(CGStats{}, err)
+		opt.Rec.Finish(0, 0, false, obs.TermError)
 		return nil, CGStats{}, err
 	}
 	// Report the true relative residual so direct solves carry honest
@@ -253,5 +263,6 @@ func (s *cholSolver) Solve(b []float64, opt CGOptions) ([]float64, CGStats, erro
 		stats.Residual = s.k.norm2(r) / normB
 	}
 	s.m.record(stats, nil)
+	opt.Rec.Finish(0, stats.Residual, true, obs.TermConverged)
 	return x, stats, nil
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Boots pdnserve on a local port, drives one request through every
-# endpoint (analyze, batch, lut, healthz, metrics, debug/requests), and
-# fails on any non-2xx response, a batch item error, a missing
+# endpoint (analyze, batch, lut, healthz, metrics, debug/requests,
+# debug/solves), and fails on any non-2xx response, a batch item error, a missing
 # X-Trace-Id, an unretrievable trace, malformed Prometheus exposition,
 # or a missing structured-log start event. Finishes with a SIGTERM to
 # check the graceful drain path exits cleanly.
@@ -53,11 +53,14 @@ echo "$LAST" | grep -q '"probe_max_ir_mv"' || { echo "lut response missing probe
 
 check metrics /metrics
 echo "$LAST" | grep -q 'serve.cache' || { echo "metrics missing serve counters" >&2; exit 1; }
+echo "$LAST" | grep -q 'health.goroutines' || { echo "metrics missing runtime-health gauges" >&2; exit 1; }
 
 # Every response carries X-Trace-Id, and /debug/requests can return the
-# trace it names while it is still retained.
+# trace it names while it is still retained. A state no earlier request
+# used keeps this analyze off the result cache, so its trace links to a
+# real solve record below.
 TRACE_ID=$(curl -sf -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
-  -d '{"bench":"ddr3-off","state":"0-0-0-2","io":1.0}' "http://$ADDR/v1/analyze" \
+  -d '{"bench":"ddr3-off","state":"2-0-0-2","io":1.0}' "http://$ADDR/v1/analyze" \
   | tr -d '\r' | awk 'tolower($1)=="x-trace-id:"{print $2}')
 if [ -z "$TRACE_ID" ]; then
   echo "analyze response missing X-Trace-Id header" >&2
@@ -69,11 +72,26 @@ check debug_requests "/debug/requests?id=$TRACE_ID"
 echo "$LAST" | grep -q "\"trace_id\":\"$TRACE_ID\"" || { echo "/debug/requests did not return trace $TRACE_ID: $LAST" >&2; exit 1; }
 echo "$LAST" | grep -q '"name":"request"' || { echo "trace $TRACE_ID has no request span: $LAST" >&2; exit 1; }
 
+# The solve flight recorder: /debug/solves retains the analyze solves,
+# round-trips one record by its solve id, and resolves the trace id to
+# the solve that request ran.
+check debug_solves /debug/solves
+echo "$LAST" | grep -q '"solve_id":"s-' || { echo "/debug/solves retained no solve records: $LAST" >&2; exit 1; }
+SOLVE_ID=$(echo "$LAST" | grep -o '"solve_id":"s-[0-9]*"' | head -1 | cut -d'"' -f4)
+check debug_solve_by_id "/debug/solves?id=$SOLVE_ID"
+echo "$LAST" | grep -q "\"solve_id\":\"$SOLVE_ID\"" || { echo "/debug/solves did not round-trip $SOLVE_ID: $LAST" >&2; exit 1; }
+echo "$LAST" | grep -q '"cond_est":' || { echo "solve record $SOLVE_ID missing cond_est: $LAST" >&2; exit 1; }
+check debug_solve_by_trace "/debug/solves?id=$TRACE_ID"
+echo "$LAST" | grep -q "\"trace_id\":\"$TRACE_ID\"" || { echo "/debug/solves did not resolve trace $TRACE_ID: $LAST" >&2; exit 1; }
+
 # Content-negotiated Prometheus exposition: typed, and every line is a
 # valid v0.0.4 comment, sample, or blank.
 PROM=$(curl -sf "http://$ADDR/metrics?format=prometheus")
 echo "$PROM" | grep -q '^# TYPE serve_analyze_requests counter$' || { echo "prom exposition missing TYPE line" >&2; exit 1; }
 echo "$PROM" | grep -q '^serve_analyze_latency_ms_bucket{le="+Inf"} ' || { echo "prom exposition missing histogram buckets" >&2; exit 1; }
+echo "$PROM" | grep -q '^# TYPE serve_solve_iterations histogram$' || { echo "prom exposition missing solve iterations histogram" >&2; exit 1; }
+echo "$PROM" | grep -q '^serve_solve_iterations_bucket{le="+Inf"} ' || { echo "prom exposition missing solve iteration buckets" >&2; exit 1; }
+echo "$PROM" | grep -q '^# TYPE serve_solve_cond_est histogram$' || { echo "prom exposition missing cond_est histogram" >&2; exit 1; }
 BAD=$(echo "$PROM" | grep -Ev '^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [+-]?([0-9.eE+-]+|Inf)|[[:space:]]*)$' || true)
 if [ -n "$BAD" ]; then
   echo "invalid Prometheus exposition lines:" >&2
